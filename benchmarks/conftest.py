@@ -1,0 +1,18 @@
+"""Benchmark fixtures: deterministic seeding per benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.utils import set_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    set_seed(2024)
+    np.random.seed(2024)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,96 @@
+"""Appendix K — mid-run bandwidth decay on EC2.
+
+The paper reports that p3.2xlarge's "up to 10 Gbps" links decay sharply in
+the middle of long experiments, and that its ResNet-50 timings were taken
+in the no-decay regime.  This benchmark models the decay explicitly and
+measures how it changes the vanilla-vs-Pufferfish comparison: with less to
+communicate, the factorized model's epoch time degrades far less when the
+links slow down — the speedup *widens* under decay.
+"""
+
+import numpy as np
+import pytest
+
+from harness import print_series, print_table
+from repro.distributed import (
+    BandwidthTrace,
+    ClusterSpec,
+    effective_epoch_times,
+    parameter_server_time,
+    ring_allreduce_time,
+)
+
+N_EPOCHS = 10
+
+
+def test_appendix_k_bandwidth_decay(benchmark):
+    def experiment():
+        cluster_full = ClusterSpec(16, bandwidth_gbps=10.0)
+        model_bytes_vanilla = 25.5e6 * 4  # ResNet-50 fp32 grads
+        model_bytes_puffer = 15.2e6 * 4
+        comm_v = ring_allreduce_time(model_bytes_vanilla, cluster_full) * 100  # 100 iters
+        comm_p = ring_allreduce_time(model_bytes_puffer, cluster_full) * 100
+        compute_v, compute_p = 15.0, 12.0  # paper-like epoch compute seconds
+
+        trace_stable = BandwidthTrace([(1.0, 10.0)])
+        trace_decay = BandwidthTrace([(0.4, 10.0), (0.6, 2.0)])
+
+        out = {}
+        for name, trace in (("stable 10 Gbps", trace_stable),
+                            ("decay to 2 Gbps", trace_decay)):
+            t_v = effective_epoch_times(comm_v, compute_v, N_EPOCHS, trace)
+            t_p = effective_epoch_times(comm_p, compute_p, N_EPOCHS, trace)
+            out[name] = (sum(t_v), sum(t_p))
+        return out
+
+    res = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [name, total_v, total_p, total_v / total_p]
+        for name, (total_v, total_p) in res.items()
+    ]
+    print_table(
+        "Appendix K: total run time under bandwidth decay (modeled, s)",
+        ["Regime", "Vanilla", "Pufferfish", "Speedup"],
+        rows,
+    )
+
+    stable_speedup = res["stable 10 Gbps"][0] / res["stable 10 Gbps"][1]
+    decay_speedup = res["decay to 2 Gbps"][0] / res["decay to 2 Gbps"][1]
+    print(f"\nPufferfish speedup: {stable_speedup:.2f}x stable -> "
+          f"{decay_speedup:.2f}x under decay")
+    # Less wire volume => less exposure to the decay => speedup widens.
+    assert decay_speedup > stable_speedup
+
+
+def test_parameter_server_vs_allreduce(benchmark):
+    """BytePS-style PS vs ring allreduce across cluster sizes: PS with few
+    servers degrades with workers while allreduce saturates — and in both
+    topologies Pufferfish's smaller payload cuts wire time proportionally."""
+
+    def experiment():
+        m = 25.5e6 * 4
+        m_puffer = 15.2e6 * 4
+        nodes = [4, 8, 16, 32]
+        rows = []
+        for p in nodes:
+            c = ClusterSpec(p, latency_s=0)
+            rows.append([
+                p,
+                ring_allreduce_time(m, c),
+                parameter_server_time(m, c, num_servers=1),
+                parameter_server_time(m, c, num_servers=p),
+                ring_allreduce_time(m_puffer, c),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "PS vs allreduce per-iteration wire time (s, ResNet-50-size grads)",
+        ["Nodes", "Allreduce", "PS (1 server)", "PS (sharded)", "Allreduce (Pufferfish)"],
+        rows,
+    )
+    # Single-server PS deteriorates linearly; allreduce stays ~flat.
+    assert rows[-1][2] / rows[0][2] == pytest.approx(8.0, rel=0.01)
+    assert rows[-1][1] / rows[0][1] < 1.4
+    # Pufferfish payload shrinks allreduce time by the compression factor.
+    assert rows[0][4] / rows[0][1] == pytest.approx(15.2 / 25.5, rel=0.01)

@@ -1,0 +1,91 @@
+"""Figure 2 — convergence of vanilla vs fully-low-rank (from scratch)
+networks: (a) VGG-class model on CIFAR, (b) ResNet-class model on the
+ImageNet stand-in.
+
+Paper: the from-scratch low-rank nets track the vanilla curves but end
+lower — ~0.4% lower on CIFAR-10/VGG, ~3% top-1 lower on ImageNet/ResNet-50
+— which is precisely the accuracy gap Section 3's mitigations close.
+
+Claims under test: both arms converge (accuracy rises over epochs), and
+the low-rank-from-scratch end-point does not beat vanilla by a margin
+(it's the *deficit* the paper builds on).
+"""
+
+import numpy as np
+import pytest
+
+from harness import image_loaders, imagenet_loaders, print_series, scaled_resnet50
+from repro.core import FactorizationConfig, Trainer, build_hybrid
+from repro.models import vgg11, vgg11_hybrid_config
+from repro.optim import SGD, MultiStepLR
+from repro.utils import set_seed
+
+EPOCHS = 8
+
+
+def _curve(model, train, val, epochs=EPOCHS):
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-4)
+    t = Trainer(model, opt, scheduler=MultiStepLR(opt, [6], gamma=0.1))
+    t.fit(train, val, epochs=epochs)
+    return [s.val_metric for s in t.history]
+
+
+def test_fig2a_vgg_cifar(benchmark, rng):
+    def experiment():
+        set_seed(2)
+        train, val, _ = image_loaders(np.random.default_rng(2), n=320, classes=4, noise=0.3)
+        vanilla = vgg11(num_classes=4, width_mult=0.25)
+        curve_v = _curve(vanilla, train, val)
+
+        set_seed(2)
+        train, val, _ = image_loaders(np.random.default_rng(2), n=320, classes=4, noise=0.3)
+        base = vgg11(num_classes=4, width_mult=0.25)
+        lowrank, _ = build_hybrid(base, vgg11_hybrid_config(0.25))
+        # "From scratch": discard the SVD init by re-randomizing factors.
+        for p in lowrank.parameters():
+            from repro.nn import init
+
+            if p.data.ndim >= 2:
+                p.data = init.kaiming_uniform(p.data.shape)
+        curve_l = _curve(lowrank, train, val)
+        return curve_v, curve_l
+
+    curve_v, curve_l = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_series(
+        "Fig 2a: VGG on CIFAR-like (paper gap at end: ~0.4%)",
+        "epoch",
+        {"vanilla": curve_v, "low-rank from scratch": curve_l},
+    )
+    # Both arms converge well above chance.
+    assert max(curve_v) > 0.5 and max(curve_l) > 0.5
+    # The low-rank net does not decisively beat vanilla from scratch.
+    assert max(curve_l) <= max(curve_v) + 0.1
+
+
+def test_fig2b_resnet_imagenet(benchmark, rng):
+    def experiment():
+        set_seed(3)
+        train, val, _ = imagenet_loaders(np.random.default_rng(3), n=256, classes=8, noise=0.2)
+        vanilla = scaled_resnet50(classes=8, width=0.125)
+        curve_v = _curve(vanilla, train, val, epochs=8)
+
+        set_seed(3)
+        train, val, _ = imagenet_loaders(np.random.default_rng(3), n=256, classes=8, noise=0.2)
+        base = scaled_resnet50(classes=8, width=0.125)
+        lowrank, _ = build_hybrid(base, FactorizationConfig(rank_ratio=0.25))
+        for p in lowrank.parameters():
+            from repro.nn import init
+
+            if p.data.ndim >= 2:
+                p.data = init.kaiming_uniform(p.data.shape)
+        curve_l = _curve(lowrank, train, val, epochs=8)
+        return curve_v, curve_l
+
+    curve_v, curve_l = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_series(
+        "Fig 2b: ResNet-50 on ImageNet-like (paper gap at end: ~3% top-1)",
+        "epoch",
+        {"vanilla": curve_v, "low-rank from scratch": curve_l},
+    )
+    assert max(curve_v) > 0.2 and max(curve_l) > 0.15  # chance 0.125
+    assert max(curve_l) <= max(curve_v) + 0.1

@@ -1,0 +1,73 @@
+"""Table 6 — runtime mini-benchmark: per-epoch training time of vanilla vs
+Pufferfish-factorized networks on a single device.
+
+Paper (V100, batch 128, reproducible-cuDNN mode):
+    VGG-19    13.51 s -> 11.02 s   (1.23x)
+    ResNet-18 18.89 s -> 12.78 s   (1.48x)
+
+Here the device is a CPU and the models are width-scaled, but the claim
+under test is identical: the dense factorized network trains *faster* per
+epoch — no sparse kernels or gradient codecs required.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from harness import image_loaders, print_table, scaled_resnet18, scaled_vgg19
+from repro import nn
+from repro.core import FactorizationConfig, Trainer, build_hybrid
+from repro.models import resnet18_hybrid_config, vgg19_hybrid_config
+from repro.optim import SGD
+from repro.utils import set_seed
+
+N_IMAGES = 256
+BATCH = 32
+REPEATS = 3
+
+
+def epoch_time(model, loader, repeats=REPEATS):
+    """Median wall-clock seconds for one training epoch."""
+    t = Trainer(model, SGD(model.parameters(), lr=0.01, momentum=0.9))
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        t.train_epoch(loader)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def test_table6_epoch_time(benchmark, rng):
+    set_seed(6)
+    train, _, _ = image_loaders(np.random.default_rng(6), n=N_IMAGES, classes=4, batch=BATCH)
+
+    def experiment():
+        out = {}
+        vgg = scaled_vgg19(classes=4, width=0.25)
+        vgg_h, _ = build_hybrid(vgg, vgg19_hybrid_config())
+        out["vgg"] = (epoch_time(vgg, train), epoch_time(vgg_h, train))
+
+        r18 = scaled_resnet18(classes=4, width=0.25)
+        r18_h, _ = build_hybrid(r18, resnet18_hybrid_config(r18))
+        out["r18"] = (epoch_time(r18, train), epoch_time(r18_h, train))
+        return out
+
+    res = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for name, paper_speedup in (("vgg", 1.23), ("r18", 1.48)):
+        t_van, t_puf = res[name]
+        rows.append([name.upper(), t_van, t_puf, t_van / t_puf, paper_speedup])
+    print_table(
+        "Table 6: per-epoch train time (s), vanilla vs Pufferfish",
+        ["Model", "Vanilla", "Pufferfish", "Speedup", "Paper speedup"],
+        rows,
+    )
+
+    # Direction: the factorized nets must be faster per epoch.  The CPU
+    # speedup factor itself fluctuates run to run (BLAS threading, cache
+    # state) between ~1.03x and ~1.15x at these scaled widths, far below
+    # the paper's GPU factors — only the direction is asserted.
+    for name in ("vgg", "r18"):
+        t_van, t_puf = res[name]
+        assert t_puf < t_van, f"{name}: factorized epoch should be faster"

@@ -1,0 +1,247 @@
+"""Command-line experiment runner: ``python -m repro <command> ...``.
+
+Three subcommands cover the library's main entry points:
+
+* ``train``     — train a model on a synthetic task, vanilla or Pufferfish.
+* ``factorize`` — print the factorization report (params, per-layer ranks,
+  SVD cost) for a model at a given rank ratio, without training.
+* ``simulate``  — run the distributed simulator and print the per-epoch
+  compute/encode/comm/decode breakdown for a chosen compressor.
+
+Examples::
+
+    python -m repro train --model resnet18 --method pufferfish --epochs 10
+    python -m repro factorize --model vgg19 --rank-ratio 0.25
+    python -m repro simulate --model resnet18 --nodes 8 --compressor powersgd
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+MODELS = ("mlp", "vgg11", "vgg19", "resnet18", "resnet50", "wideresnet50")
+COMPRESSORS = ("none", "powersgd", "signum", "qsgd", "topk", "binary", "atomo")
+
+
+def _make_model(name: str, num_classes: int, width: float):
+    from . import models
+
+    if name == "mlp":
+        return models.MLP(3 * 32 * 32, [256, 128], num_classes)
+    if name == "vgg11":
+        return models.vgg11(num_classes=num_classes, width_mult=width)
+    if name == "vgg19":
+        return models.vgg19(num_classes=num_classes, width_mult=width)
+    if name == "resnet18":
+        return models.resnet18(num_classes=num_classes, width_mult=width)
+    if name == "resnet50":
+        return models.resnet50(num_classes=num_classes, width_mult=width, small_input=True)
+    if name == "wideresnet50":
+        return models.wide_resnet50_2(num_classes=num_classes, width_mult=width,
+                                      small_input=True)
+    raise ValueError(f"unknown model {name!r}")
+
+
+def _hybrid_config(name: str, model, rank_ratio: float):
+    from . import models
+    from .core import FactorizationConfig
+
+    if name == "vgg19":
+        return models.vgg19_hybrid_config(rank_ratio)
+    if name == "vgg11":
+        return models.vgg11_hybrid_config(rank_ratio)
+    if name == "resnet18":
+        return models.resnet18_hybrid_config(model, rank_ratio)
+    if name in ("resnet50", "wideresnet50"):
+        return models.resnet50_hybrid_config(model, rank_ratio)
+    return FactorizationConfig(rank_ratio=rank_ratio)
+
+
+def _make_compressor(name: str, num_workers: int):
+    from . import compression as C
+
+    table = {
+        "none": lambda: C.NoCompression(num_workers),
+        "powersgd": lambda: C.PowerSGD(num_workers, rank=2),
+        "signum": lambda: C.Signum(num_workers),
+        "qsgd": lambda: C.QSGD(num_workers, levels=16),
+        "topk": lambda: C.TopK(num_workers, ratio=0.01),
+        "binary": lambda: C.StochasticBinary(num_workers),
+        "atomo": lambda: C.Atomo(num_workers, budget=2),
+    }
+    return table[name]()
+
+
+# ---------------------------------------------------------------------------
+
+
+def cmd_train(args) -> int:
+    from .core import PufferfishTrainer, Trainer
+    from .data import DataLoader, make_cifar_like
+    from .optim import SGD, MultiStepLR
+    from .utils import Logger, set_seed
+
+    set_seed(args.seed)
+    rng = np.random.default_rng(args.seed)
+    ds = make_cifar_like(n=args.samples, num_classes=args.classes, noise=args.noise, rng=rng)
+    tr, va = ds.split(int(0.8 * args.samples))
+    train_loader = DataLoader(tr.images, tr.labels, args.batch_size, shuffle=True)
+    val_loader = DataLoader(va.images, va.labels, 2 * args.batch_size)
+
+    model = _make_model(args.model, args.classes, args.width)
+    logger = Logger(args.model)
+    opt_factory = lambda ps: SGD(ps, lr=args.lr, momentum=0.9, weight_decay=1e-4)
+    sched_factory = lambda opt: MultiStepLR(opt, [int(0.75 * args.epochs)], gamma=0.1)
+
+    if args.method == "pufferfish":
+        trainer = PufferfishTrainer(
+            model,
+            _hybrid_config(args.model, model, args.rank_ratio),
+            optimizer_factory=opt_factory,
+            scheduler_factory=sched_factory,
+            warmup_epochs=args.warmup_epochs,
+            total_epochs=args.epochs,
+            amp=args.amp,
+            logger=logger,
+        )
+        trainer.fit(train_loader, val_loader)
+        report = trainer.report
+        print(f"\nfactorized: {report.params_before:,} -> {report.params_after:,} "
+              f"params ({report.compression:.2f}x), SVD {report.svd_seconds*1e3:.0f} ms")
+        history = trainer.history
+        final_model = trainer.hybrid_model
+    else:
+        opt = opt_factory(model.parameters())
+        trainer = Trainer(model, opt, scheduler=sched_factory(opt), amp=args.amp,
+                          logger=logger)
+        trainer.fit(train_loader, val_loader, epochs=args.epochs)
+        history = trainer.history
+        final_model = model
+
+    best = max(s.val_metric for s in history)
+    print(f"best val accuracy: {best:.4f}")
+    if args.checkpoint:
+        from .utils import save_checkpoint
+
+        save_checkpoint(args.checkpoint, final_model, epoch=args.epochs, best=best)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def cmd_factorize(args) -> int:
+    from .core import build_hybrid
+    from .metrics import measure_macs
+    from .tensor import Tensor
+    from .utils import set_seed
+
+    set_seed(args.seed)
+    model = _make_model(args.model, args.classes, args.width)
+    config = _hybrid_config(args.model, model, args.rank_ratio)
+    hybrid, report = build_hybrid(model, config)
+
+    print(f"model: {args.model} (width {args.width})")
+    print(f"parameters: {report.params_before:,} -> {report.params_after:,} "
+          f"({report.compression:.2f}x smaller)")
+    print(f"SVD cost: {report.svd_seconds*1e3:.1f} ms")
+    if args.model != "mlp":
+        x = Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        print(f"MACs: {measure_macs(model, x)/1e6:.1f} M -> "
+              f"{measure_macs(hybrid, x)/1e6:.1f} M")
+    print(f"\nfactorized layers ({len(report.replaced)}):")
+    for path, rank in report.replaced:
+        print(f"  {path:<40} rank {rank}")
+    print(f"kept full-rank ({len(report.kept)}): {', '.join(report.kept)}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .core import build_hybrid
+    from .data import DataLoader, make_cifar_like, shard_dataset
+    from .distributed import ClusterSpec, DistributedTrainer
+    from .optim import SGD
+    from .utils import set_seed
+
+    set_seed(args.seed)
+    rng = np.random.default_rng(args.seed)
+    model = _make_model(args.model, args.classes, args.width)
+    if args.method == "pufferfish":
+        model, report = build_hybrid(model, _hybrid_config(args.model, model, args.rank_ratio))
+        print(f"pufferfish model: {report.compression:.2f}x smaller")
+
+    n = args.nodes * args.batch_size * args.iterations
+    ds = make_cifar_like(n=n, num_classes=args.classes, noise=args.noise, rng=rng)
+    shards = shard_dataset(ds.images, ds.labels, args.nodes)
+    loaders = [DataLoader(x, y, args.batch_size) for x, y in shards]
+
+    cluster = ClusterSpec(args.nodes, bandwidth_gbps=args.bandwidth)
+    opt = SGD(model.parameters(), lr=args.lr, momentum=0.9)
+    trainer = DistributedTrainer(
+        model, opt, cluster, compressor=_make_compressor(args.compressor, args.nodes)
+    )
+    tl = trainer.train_epoch(loaders)
+    print(f"\ncluster: {args.nodes} nodes @ {args.bandwidth} Gbps "
+          f"| compressor: {args.compressor}")
+    print(f"compute {tl.compute:.3f}s | encode {tl.encode:.3f}s | "
+          f"comm {tl.comm:.3f}s | decode {tl.decode:.3f}s | total {tl.total:.3f}s")
+    print(f"wire bytes per iteration: {tl.bytes_per_iteration/1e6:.2f} MB")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--model", choices=MODELS, default="resnet18")
+        p.add_argument("--width", type=float, default=0.25,
+                       help="width multiplier (1.0 = paper architecture)")
+        p.add_argument("--classes", type=int, default=4)
+        p.add_argument("--rank-ratio", type=float, default=0.25)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_train = sub.add_parser("train", help="train on the synthetic CIFAR task")
+    common(p_train)
+    p_train.add_argument("--method", choices=("vanilla", "pufferfish"), default="pufferfish")
+    p_train.add_argument("--epochs", type=int, default=10)
+    p_train.add_argument("--warmup-epochs", type=int, default=3)
+    p_train.add_argument("--batch-size", type=int, default=32)
+    p_train.add_argument("--lr", type=float, default=0.05)
+    p_train.add_argument("--samples", type=int, default=512)
+    p_train.add_argument("--noise", type=float, default=0.2)
+    p_train.add_argument("--amp", action="store_true", help="mixed-precision emulation")
+    p_train.add_argument("--checkpoint", default=None, help="write final .npz checkpoint")
+    p_train.set_defaults(func=cmd_train)
+
+    p_fact = sub.add_parser("factorize", help="print the factorization report")
+    common(p_fact)
+    p_fact.set_defaults(func=cmd_factorize)
+
+    p_sim = sub.add_parser("simulate", help="distributed-training simulation")
+    common(p_sim)
+    p_sim.add_argument("--method", choices=("vanilla", "pufferfish"), default="vanilla")
+    p_sim.add_argument("--nodes", type=int, default=8)
+    p_sim.add_argument("--compressor", choices=COMPRESSORS, default="none")
+    p_sim.add_argument("--bandwidth", type=float, default=0.3, help="Gbps per link")
+    p_sim.add_argument("--batch-size", type=int, default=16)
+    p_sim.add_argument("--iterations", type=int, default=2)
+    p_sim.add_argument("--lr", type=float, default=0.05)
+    p_sim.add_argument("--noise", type=float, default=0.2)
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Gradient-compression baselines, pluggable into the distributed simulator."""
+
+from .base import Compressor, EncodeResult, NoCompression
+from .powersgd import PowerSGD
+from .signum import Signum
+from .qsgd import QSGD
+from .topk import TopK
+from .binary import StochasticBinary
+from .atomo import Atomo, atomo_probabilities
+
+__all__ = [
+    "Compressor",
+    "EncodeResult",
+    "NoCompression",
+    "PowerSGD",
+    "Signum",
+    "QSGD",
+    "TopK",
+    "StochasticBinary",
+    "Atomo",
+    "atomo_probabilities",
+]

@@ -1,0 +1,68 @@
+"""Gradient compressor interface for the distributed simulator.
+
+A compressor sees each worker's gradient (as the list of per-parameter
+arrays), produces a wire payload plus its byte size, and turns the set of
+worker payloads back into one aggregated (averaged) gradient.
+
+``allreduce_compatible`` decides which collective the simulator charges:
+sum-compatible encodings ride the ring allreduce; everything else falls
+back to allgather, whose cost grows linearly in the node count — the
+effect behind Fig. 4's Signum communication bars and Appendix F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Compressor", "EncodeResult", "NoCompression"]
+
+FLOAT32_BYTES = 4
+
+
+@dataclass
+class EncodeResult:
+    """One worker's encoded gradient: opaque payload + wire size in bytes."""
+
+    payload: object
+    nbytes: int
+
+
+class Compressor:
+    """Base class.  Subclasses may keep per-worker state (momentum, error
+    feedback); ``num_workers`` is fixed at construction so state arrays can
+    be indexed by worker id."""
+
+    #: True if payloads can be summed by a ring allreduce.
+    allreduce_compatible: bool = True
+    name: str = "base"
+
+    def __init__(self, num_workers: int):
+        self.num_workers = num_workers
+
+    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+        raise NotImplementedError
+
+    def decode_aggregate(self, results: list[EncodeResult]) -> list[np.ndarray]:
+        """Average of all workers' gradients, reconstructed from payloads."""
+        raise NotImplementedError
+
+
+class NoCompression(Compressor):
+    """Vanilla SGD baseline: raw fp32 gradients over allreduce."""
+
+    allreduce_compatible = True
+    name = "sgd"
+
+    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+        nbytes = sum(g.size for g in grads) * FLOAT32_BYTES
+        return EncodeResult(payload=[g.copy() for g in grads], nbytes=nbytes)
+
+    def decode_aggregate(self, results: list[EncodeResult]) -> list[np.ndarray]:
+        n = len(results)
+        out = [g.astype(np.float64) for g in results[0].payload]
+        for res in results[1:]:
+            for acc, g in zip(out, res.payload):
+                acc += g
+        return [(acc / n).astype(np.float32) for acc in out]

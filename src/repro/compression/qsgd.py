@@ -1,0 +1,65 @@
+"""QSGD (Alistarh et al. 2017): stochastic uniform quantization to
+``s`` levels with per-tensor L2 scaling.
+
+Each coordinate is rounded stochastically to one of ``s`` buckets of
+``|g|/‖g‖₂``, keeping the estimate unbiased.  Wire format: one fp32 norm +
+one sign bit + ceil(log2(s+1)) bits per coordinate (we pack into uint8 for
+simplicity, charging 8 bits when s > 127 would in practice need it).
+Encoded payloads are not sum-compatible → allgather.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..utils import spawn_rng
+from .base import FLOAT32_BYTES, Compressor, EncodeResult
+
+__all__ = ["QSGD"]
+
+
+class QSGD(Compressor):
+    allreduce_compatible = False
+    name = "qsgd"
+
+    def __init__(self, num_workers: int, levels: int = 16):
+        super().__init__(num_workers)
+        if not 1 <= levels <= 127:
+            raise ValueError("levels must be in [1, 127] (int8 wire format)")
+        self.levels = levels
+        self.bits = max(1, math.ceil(math.log2(levels + 1))) + 1  # + sign bit
+        self._rng = spawn_rng()
+
+    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+        payloads = []
+        nbytes = 0
+        for g in grads:
+            flat = g.reshape(-1).astype(np.float32)
+            norm = float(np.linalg.norm(flat))
+            if norm == 0.0:
+                payloads.append((norm, np.zeros(flat.size, dtype=np.int8), g.shape))
+                nbytes += FLOAT32_BYTES + flat.size * self.bits // 8
+                continue
+            scaled = np.abs(flat) / norm * self.levels
+            lower = np.floor(scaled)
+            prob = scaled - lower
+            rounded = lower + (self._rng.random(flat.size) < prob)
+            q = (np.sign(flat) * rounded).astype(np.int8)
+            payloads.append((norm, q, g.shape))
+            nbytes += FLOAT32_BYTES + flat.size * self.bits // 8
+        return EncodeResult(payload=payloads, nbytes=nbytes)
+
+    def decode_aggregate(self, results: list[EncodeResult]) -> list[np.ndarray]:
+        n_workers = len(results)
+        n_layers = len(results[0].payload)
+        out = []
+        for i in range(n_layers):
+            shape = results[0].payload[i][2]
+            acc = np.zeros(int(np.prod(shape)), dtype=np.float64)
+            for res in results:
+                norm, q, _ = res.payload[i]
+                acc += q.astype(np.float64) * (norm / self.levels)
+            out.append((acc / n_workers).astype(np.float32).reshape(shape))
+        return out

@@ -1,0 +1,81 @@
+"""Pufferfish core: low-rank layers, SVD factorization, hybrid networks and
+the Algorithm 1 training procedure."""
+
+from .layers import LowRankLinear, LowRankConv2d, LowRankLSTMLayer, LowRankLSTM
+from .factorize import (
+    factorize_matrix,
+    unroll_conv_weight,
+    roll_conv_factors,
+    default_rank,
+    factorize_linear,
+    factorize_conv2d,
+    factorize_lstm_layer,
+    approximation_error,
+)
+from .hybrid import (
+    FactorizationConfig,
+    FactorizationReport,
+    factorizable_leaves,
+    build_hybrid,
+)
+from .trainer import EpochStats, Trainer, PufferfishTrainer, classification_batch
+from .spectrum import (
+    singular_values,
+    energy_curve,
+    energy_rank,
+    effective_rank,
+    stable_rank,
+    layer_spectra,
+)
+from .rank_allocation import (
+    energy_rank_allocation,
+    budget_rank_allocation,
+    allocation_report,
+)
+from .tucker import (
+    TuckerConv2d,
+    tucker2_decompose,
+    tucker_conv_from,
+    mode_unfold,
+    mode_fold,
+)
+from .materialize import materialize_layer, materialize_hybrid
+
+__all__ = [
+    "LowRankLinear",
+    "LowRankConv2d",
+    "LowRankLSTMLayer",
+    "LowRankLSTM",
+    "factorize_matrix",
+    "unroll_conv_weight",
+    "roll_conv_factors",
+    "default_rank",
+    "factorize_linear",
+    "factorize_conv2d",
+    "factorize_lstm_layer",
+    "approximation_error",
+    "FactorizationConfig",
+    "FactorizationReport",
+    "factorizable_leaves",
+    "build_hybrid",
+    "EpochStats",
+    "Trainer",
+    "PufferfishTrainer",
+    "classification_batch",
+    "singular_values",
+    "energy_curve",
+    "energy_rank",
+    "effective_rank",
+    "stable_rank",
+    "layer_spectra",
+    "energy_rank_allocation",
+    "budget_rank_allocation",
+    "allocation_report",
+    "TuckerConv2d",
+    "tucker2_decompose",
+    "tucker_conv_from",
+    "mode_unfold",
+    "mode_fold",
+    "materialize_layer",
+    "materialize_hybrid",
+]

@@ -1,0 +1,65 @@
+"""Minibatch loading with shuffling, augmentation, and data-parallel shards."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..utils import spawn_rng
+
+__all__ = ["DataLoader", "shard_dataset"]
+
+
+class DataLoader:
+    """Iterates ``(x_batch, y_batch)`` over in-memory arrays.
+
+    Parameters
+    ----------
+    x, y: aligned arrays; first axis is the example axis.
+    batch_size: minibatch size (last partial batch dropped when
+        ``drop_last``).
+    shuffle: new permutation each epoch.
+    transform: optional per-batch augmentation ``(x, rng) -> x``.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        shuffle: bool = False,
+        transform: Callable | None = None,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        if len(x) != len(y):
+            raise ValueError("x and y must have the same length")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self.rng = rng or spawn_rng()
+
+    def __len__(self) -> int:
+        n = len(self.x)
+        return n // self.batch_size if self.drop_last else (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.x)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            xb = self.x[idx]
+            if self.transform is not None:
+                xb = self.transform(xb, self.rng)
+            yield xb, self.y[idx]
+
+
+def shard_dataset(x: np.ndarray, y: np.ndarray, num_shards: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Contiguous equal shards for data-parallel workers (extras dropped)."""
+    per = len(x) // num_shards
+    return [(x[i * per : (i + 1) * per], y[i * per : (i + 1) * per]) for i in range(num_shards)]

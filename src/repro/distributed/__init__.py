@@ -1,0 +1,33 @@
+"""Distributed data-parallel training simulator: α–β cost models, exact
+collectives, and per-epoch timeline breakdowns."""
+
+from .cost_model import ClusterSpec, ring_allreduce_time, allgather_time, broadcast_time
+from .collectives import (
+    allreduce_mean,
+    allgather,
+    flatten_arrays,
+    unflatten_vector,
+    gradient_vector,
+    assign_gradient_vector,
+)
+from .ddp import TimelineBreakdown, DistributedTrainer, DDPTimelineModel
+from .parameter_server import parameter_server_time, BandwidthTrace, effective_epoch_times
+
+__all__ = [
+    "ClusterSpec",
+    "ring_allreduce_time",
+    "allgather_time",
+    "broadcast_time",
+    "allreduce_mean",
+    "allgather",
+    "flatten_arrays",
+    "unflatten_vector",
+    "gradient_vector",
+    "assign_gradient_vector",
+    "TimelineBreakdown",
+    "DistributedTrainer",
+    "DDPTimelineModel",
+    "parameter_server_time",
+    "BandwidthTrace",
+    "effective_epoch_times",
+]

@@ -1,0 +1,73 @@
+"""Numerically exact collectives over simulated workers, plus the flat
+gradient buffer used by the paper's single-allreduce optimization
+(Section 4.1: pack all gradient tensors into one buffer → one allreduce
+per iteration, amortizing the per-call latency)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = [
+    "allreduce_mean",
+    "allgather",
+    "flatten_arrays",
+    "unflatten_vector",
+    "gradient_vector",
+    "assign_gradient_vector",
+]
+
+
+def allreduce_mean(worker_vectors: list[np.ndarray]) -> np.ndarray:
+    """Element-wise mean across workers (the semantic of DDP's allreduce)."""
+    if not worker_vectors:
+        raise ValueError("no worker vectors")
+    out = worker_vectors[0].astype(np.float64)
+    for v in worker_vectors[1:]:
+        out += v
+    return (out / len(worker_vectors)).astype(worker_vectors[0].dtype)
+
+
+def allgather(worker_payloads: list) -> list:
+    """Every worker receives every payload (identity here; cost is modeled
+    separately)."""
+    return list(worker_payloads)
+
+
+def flatten_arrays(arrays: list[np.ndarray]) -> np.ndarray:
+    """Concatenate arrays into one contiguous float32 vector."""
+    return np.concatenate([a.reshape(-1) for a in arrays]).astype(np.float32, copy=False)
+
+
+def unflatten_vector(vec: np.ndarray, shapes: list[tuple[int, ...]]) -> list[np.ndarray]:
+    """Split a flat vector back into arrays with the given shapes."""
+    out = []
+    offset = 0
+    for shape in shapes:
+        size = int(np.prod(shape))
+        out.append(vec[offset : offset + size].reshape(shape))
+        offset += size
+    if offset != vec.size:
+        raise ValueError(f"vector size {vec.size} != total shape size {offset}")
+    return out
+
+
+def gradient_vector(params: list[Parameter]) -> np.ndarray:
+    """Flat buffer of all parameter gradients (zeros where grad is None)."""
+    parts = [
+        (p.grad if p.grad is not None else np.zeros_like(p.data)).reshape(-1)
+        for p in params
+    ]
+    return np.concatenate(parts).astype(np.float32, copy=False)
+
+
+def assign_gradient_vector(params: list[Parameter], vec: np.ndarray) -> None:
+    """Scatter a flat gradient buffer back onto the parameters."""
+    offset = 0
+    for p in params:
+        size = p.data.size
+        p.grad = vec[offset : offset + size].reshape(p.data.shape).copy()
+        offset += size
+    if offset != vec.size:
+        raise ValueError("gradient vector does not match parameter sizes")

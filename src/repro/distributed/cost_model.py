@@ -1,0 +1,71 @@
+"""Analytic communication cost models (α–β model, Thakur et al. 2005).
+
+The paper's own efficiency argument rests on these formulas: ring
+allreduce moves ``2(p-1)/p · M`` bytes per node in ``2(p-1)`` latency
+rounds, while allgather (the fallback for compressors whose encoding is
+not sum-compatible, e.g. Signum) delivers ``(p-1) · M`` bytes *per sender*
+to every node — its cost grows with the node count, which is exactly why
+high-ratio compressors can lose end-to-end (Section 4.2 / Appendix F).
+
+Bandwidth defaults to the paper's testbed: p3.2xlarge, "up to 10 Gbps".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterSpec", "ring_allreduce_time", "allgather_time", "broadcast_time"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster for the simulator.
+
+    Attributes
+    ----------
+    num_nodes: world size ``p``.
+    bandwidth_gbps: per-link bandwidth in gigabits/s (paper: 10).
+    latency_s: per-message latency ``α`` (EC2 same-AZ ≈ 50 µs).
+    """
+
+    num_nodes: int
+    bandwidth_gbps: float = 10.0
+    latency_s: float = 50e-6
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_gbps * 1e9 / 8.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.bandwidth_gbps <= 0 or self.latency_s < 0:
+            raise ValueError("invalid bandwidth/latency")
+
+
+def ring_allreduce_time(nbytes: float, cluster: ClusterSpec) -> float:
+    """Ring allreduce: ``2(p-1)α + 2 (p-1)/p · M/B`` seconds."""
+    p = cluster.num_nodes
+    if p == 1:
+        return 0.0
+    return 2 * (p - 1) * cluster.latency_s + 2 * (p - 1) / p * nbytes / cluster.bytes_per_second
+
+
+def allgather_time(nbytes: float, cluster: ClusterSpec) -> float:
+    """Ring allgather of per-node payloads of ``nbytes``:
+    ``(p-1)α + (p-1) · M/B`` seconds."""
+    p = cluster.num_nodes
+    if p == 1:
+        return 0.0
+    return (p - 1) * cluster.latency_s + (p - 1) * nbytes / cluster.bytes_per_second
+
+
+def broadcast_time(nbytes: float, cluster: ClusterSpec) -> float:
+    """Binomial-tree broadcast: ``ceil(log2 p) (α + M/B)``."""
+    import math
+
+    p = cluster.num_nodes
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    return rounds * (cluster.latency_s + nbytes / cluster.bytes_per_second)

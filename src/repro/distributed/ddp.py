@@ -1,0 +1,223 @@
+"""Data-parallel training simulator with a per-epoch timeline breakdown.
+
+The simulator executes *real* numerics — each worker's forward/backward on
+its own shard, real gradient encoding/decoding, exact averaged updates —
+on a single process, while *charging* communication from the α–β cost
+model of :mod:`repro.distributed.cost_model`.  Compute, encode and decode
+are measured wall-clock (they really run); only the wire time is modeled.
+This mirrors how the paper's own analysis separates "computation" from
+"communication" in Fig. 4's stacked bars.
+
+Two execution styles:
+
+* :class:`DistributedTrainer` — the paper's prototype implementation:
+  gradients flattened into one buffer, a single blocking allreduce per
+  iteration (Section 4.1's latency optimization), optional compressor.
+* :class:`DDPTimelineModel` — PyTorch-DDP-style bucketed overlap: gradient
+  buckets communicate while the backward pass still runs, so the exposed
+  communication is ``max(0, comm − backward)`` plus per-bucket latency.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compression.base import Compressor, NoCompression
+from ..nn.module import Module
+from ..optim import Optimizer
+from ..tensor import Tensor
+from .collectives import assign_gradient_vector
+from .cost_model import ClusterSpec, allgather_time, ring_allreduce_time
+
+__all__ = ["TimelineBreakdown", "DistributedTrainer", "DDPTimelineModel"]
+
+FLOAT32_BYTES = 4
+
+
+@dataclass
+class TimelineBreakdown:
+    """Accumulated per-phase seconds for one epoch (Fig. 4 bars)."""
+
+    compute: float = 0.0
+    encode: float = 0.0
+    comm: float = 0.0
+    decode: float = 0.0
+    other: float = 0.0
+    iterations: int = 0
+    bytes_per_iteration: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.encode + self.comm + self.decode + self.other
+
+    def as_dict(self) -> dict:
+        return {
+            "compute": self.compute,
+            "encode": self.encode,
+            "comm": self.comm,
+            "decode": self.decode,
+            "other": self.other,
+            "total": self.total,
+        }
+
+
+class DistributedTrainer:
+    """Synchronous data-parallel SGD over a simulated cluster.
+
+    Parameters
+    ----------
+    model, optimizer: single authoritative replica (workers share weights —
+        exact for synchronous SGD).
+    cluster: node count and link parameters.
+    compressor: gradient compressor; default = raw fp32 (vanilla SGD).
+    batch_fn: ``(model, batch) -> (loss, metric_sum, count)`` as in
+        :class:`repro.core.Trainer`.
+    flat_allreduce: pack all tensors into one buffer (Section 4.1).  Only
+        meaningful for allreduce-compatible compressors; per-layer calls
+        add ``2(p-1)α`` latency per layer.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        cluster: ClusterSpec,
+        compressor: Compressor | None = None,
+        batch_fn=None,
+        loss_fn=None,
+        flat_allreduce: bool = True,
+    ):
+        from ..core.trainer import classification_batch
+        from ..nn import CrossEntropyLoss
+
+        self.model = model
+        self.optimizer = optimizer
+        self.cluster = cluster
+        self.compressor = compressor or NoCompression(cluster.num_nodes)
+        self.loss_fn = loss_fn or CrossEntropyLoss()
+        self.batch_fn = batch_fn or (
+            lambda m, b: classification_batch(m, b, self.loss_fn)
+        )
+        self.flat_allreduce = flat_allreduce
+
+    # ------------------------------------------------------------------
+
+    def _comm_time(self, nbytes: float, n_messages: int) -> float:
+        """Wire time for one worker's payload of ``nbytes``."""
+        if self.compressor.allreduce_compatible:
+            per_message = nbytes / max(n_messages, 1)
+            return sum(
+                ring_allreduce_time(per_message, self.cluster) for _ in range(n_messages)
+            )
+        return allgather_time(nbytes, self.cluster)
+
+    def train_epoch(self, worker_loaders: list) -> TimelineBreakdown:
+        """One synchronized epoch over per-worker shard loaders.
+
+        All loaders must yield the same number of batches; each yields that
+        worker's micro-batch for the iteration.
+        """
+        if len(worker_loaders) != self.cluster.num_nodes:
+            raise ValueError("need one loader per node")
+        timeline = TimelineBreakdown()
+        self.model.train()
+        params = self.optimizer.params
+
+        for batches in zip(*[iter(dl) for dl in worker_loaders]):
+            # --- compute phase: each worker's forward/backward ---------
+            worker_grads: list[list[np.ndarray]] = []
+            worker_compute: list[float] = []
+            for batch in batches:
+                self.optimizer.zero_grad()
+                t0 = time.perf_counter()
+                loss, _, _ = self.batch_fn(self.model, batch)
+                loss.backward()
+                worker_compute.append(time.perf_counter() - t0)
+                worker_grads.append(
+                    [
+                        (p.grad if p.grad is not None else np.zeros_like(p.data)).copy()
+                        for p in params
+                    ]
+                )
+            # Workers run concurrently: the slowest sets the pace.
+            timeline.compute += max(worker_compute)
+
+            # --- encode phase ------------------------------------------
+            t0 = time.perf_counter()
+            encoded = [
+                self.compressor.encode(w, grads) for w, grads in enumerate(worker_grads)
+            ]
+            encode_elapsed = time.perf_counter() - t0
+            # Encoding also happens in parallel across workers.
+            timeline.encode += encode_elapsed / len(worker_grads)
+
+            # --- communication (modeled) -------------------------------
+            nbytes = encoded[0].nbytes
+            n_messages = 1 if self.flat_allreduce else len(params)
+            timeline.comm += self._comm_time(nbytes, n_messages)
+            timeline.bytes_per_iteration = nbytes
+
+            # --- decode phase -------------------------------------------
+            t0 = time.perf_counter()
+            agg = self.compressor.decode_aggregate(encoded)
+            timeline.decode += time.perf_counter() - t0
+
+            # --- apply ---------------------------------------------------
+            for p, g in zip(params, agg):
+                p.grad = np.ascontiguousarray(g, dtype=np.float32)
+            self.optimizer.step()
+            timeline.iterations += 1
+        return timeline
+
+    def evaluate(self, loader) -> tuple[float, float]:
+        """Convenience eval on a single loader (loss, accuracy-style metric)."""
+        from ..core.trainer import Trainer
+
+        t = Trainer(self.model, self.optimizer, batch_fn=self.batch_fn, loss_fn=self.loss_fn)
+        return t.evaluate(loader)
+
+
+class DDPTimelineModel:
+    """PyTorch-DDP-style timing: bucketed allreduce overlapped with backward.
+
+    DDP fires an asynchronous allreduce whenever a gradient bucket
+    (default 25 MB) fills during the backward pass, so communication hides
+    behind compute.  The exposed (non-overlapped) communication is
+    approximately ``max(0, T_comm − T_backward)`` plus one latency term per
+    bucket; per-epoch time is then
+
+        ``T_epoch = n_iter · (T_fwd_bwd + exposed_comm + T_step)``.
+    """
+
+    def __init__(self, cluster: ClusterSpec, bucket_mb: float = 25.0, backward_fraction: float = 2 / 3):
+        self.cluster = cluster
+        self.bucket_bytes = bucket_mb * 1e6
+        # Fraction of fwd+bwd time that is backward (≈ 2/3 for conv nets).
+        self.backward_fraction = backward_fraction
+
+    def iteration_time(self, model_bytes: float, compute_seconds: float) -> dict:
+        """Timing for one iteration of a model with ``model_bytes`` of
+        gradients and measured per-iteration ``compute_seconds``."""
+        n_buckets = max(1, math.ceil(model_bytes / self.bucket_bytes))
+        comm = sum(
+            ring_allreduce_time(
+                min(self.bucket_bytes, model_bytes - i * self.bucket_bytes), self.cluster
+            )
+            for i in range(n_buckets)
+        )
+        backward = compute_seconds * self.backward_fraction
+        exposed = max(0.0, comm - backward)
+        return {
+            "compute": compute_seconds,
+            "comm_raw": comm,
+            "comm_exposed": exposed,
+            "iteration": compute_seconds + exposed,
+            "n_buckets": n_buckets,
+        }
+
+    def epoch_time(self, model_bytes: float, compute_seconds: float, n_iterations: int) -> float:
+        return self.iteration_time(model_bytes, compute_seconds)["iteration"] * n_iterations

@@ -1,0 +1,67 @@
+"""Corpus BLEU (Papineni et al. 2002) for the translation benchmark.
+
+Standard BLEU-4 with uniform n-gram weights and the brevity penalty,
+operating on integer token sequences (pad/eos stripped by the caller or
+via ``strip_ids``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = ["corpus_bleu", "sentence_ngrams"]
+
+
+def sentence_ngrams(tokens: Sequence[int], n: int) -> Counter:
+    """Multiset of n-grams of order ``n``."""
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def _strip(seq: Sequence[int], strip_ids: frozenset) -> list[int]:
+    return [t for t in seq if t not in strip_ids]
+
+
+def corpus_bleu(
+    hypotheses: Iterable[Sequence[int]],
+    references: Iterable[Sequence[int]],
+    max_n: int = 4,
+    strip_ids: Iterable[int] = (),
+    smooth: float = 1e-9,
+) -> float:
+    """Corpus-level BLEU in [0, 100].
+
+    ``smooth`` is added to clipped counts so short corpora with a missing
+    n-gram order don't collapse to exactly zero (add-epsilon smoothing).
+    """
+    strip = frozenset(strip_ids)
+    clipped = [0] * max_n
+    totals = [0] * max_n
+    hyp_len = 0
+    ref_len = 0
+    for hyp, ref in zip(hypotheses, references):
+        hyp = _strip(hyp, strip)
+        ref = _strip(ref, strip)
+        hyp_len += len(hyp)
+        ref_len += len(ref)
+        for n in range(1, max_n + 1):
+            h_ngrams = sentence_ngrams(hyp, n)
+            r_ngrams = sentence_ngrams(ref, n)
+            totals[n - 1] += max(sum(h_ngrams.values()), 0)
+            clipped[n - 1] += sum(
+                min(count, r_ngrams.get(gram, 0)) for gram, count in h_ngrams.items()
+            )
+    if hyp_len == 0:
+        return 0.0
+    log_precisions = []
+    for n in range(max_n):
+        if totals[n] == 0:
+            continue
+        p = (clipped[n] + smooth) / totals[n]
+        log_precisions.append(math.log(p))
+    if not log_precisions:
+        return 0.0
+    geo_mean = math.exp(sum(log_precisions) / len(log_precisions))
+    brevity = 1.0 if hyp_len >= ref_len else math.exp(1.0 - ref_len / hyp_len)
+    return 100.0 * brevity * geo_mean

@@ -1,0 +1,24 @@
+"""Accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_accuracy", "accuracy"]
+
+
+def topk_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose true label is among the top-``k`` logits."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        logits = logits.reshape(-1, logits.shape[-1])
+        targets = targets.reshape(-1)
+    topk = np.argpartition(-logits, kth=min(k, logits.shape[1] - 1), axis=1)[:, :k]
+    hit = (topk == targets[:, None]).any(axis=1)
+    return float(hit.mean())
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy."""
+    return topk_accuracy(logits, targets, k=1)

@@ -1,0 +1,15 @@
+"""Perplexity for language modeling."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["perplexity"]
+
+
+def perplexity(mean_nll: float, cap: float = 1e9) -> float:
+    """``exp(mean negative log-likelihood)``, clamped against overflow."""
+    try:
+        return min(math.exp(mean_nll), cap)
+    except OverflowError:
+        return cap

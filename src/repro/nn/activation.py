@@ -1,0 +1,43 @@
+"""Activation modules."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["ReLU", "Tanh", "Sigmoid", "GELU"]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class GELU(Module):
+    """Tanh-approximation GELU (used in Transformer variants)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        inner = (x + x * x * x * 0.044715) * 0.7978845608028654
+        return x * (inner.tanh() + 1.0) * 0.5
+
+    def __repr__(self) -> str:
+        return "GELU()"

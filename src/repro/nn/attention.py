@@ -1,0 +1,154 @@
+"""Multi-head attention and Transformer encoder/decoder blocks.
+
+Follows "Attention is All You Need" with the combined-projection
+parameterization the Pufferfish appendix uses: ``wq/wk/wv/wo`` are all
+``d_model × d_model`` matrices (the horizontal stack of the per-head
+``pd × d`` projections), so factorizing them with rank ``r`` reproduces the
+paper's Table 16/17 shapes (e.g. ``U^Q ∈ R^{512×128}``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import Tensor, softmax
+from .dropout import Dropout
+from .linear import Linear
+from .module import Module
+from .norm import LayerNorm
+
+__all__ = [
+    "MultiHeadAttention",
+    "PositionwiseFFN",
+    "PositionalEncoding",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+]
+
+
+def _split_heads(x: Tensor, n_heads: int) -> Tensor:
+    """(B, T, D) -> (B, H, T, D/H)."""
+    b, t, d = x.shape
+    return x.reshape(b, t, n_heads, d // n_heads).transpose(0, 2, 1, 3)
+
+
+def _merge_heads(x: Tensor) -> Tensor:
+    """(B, H, T, Dh) -> (B, T, H*Dh)."""
+    b, h, t, dh = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, t, h * dh)
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with ``p`` heads.
+
+    ``mask`` is additive: positions with ``-inf``-like large negatives are
+    suppressed.  Shape ``(T_q, T_k)`` or ``(B, 1, T_q, T_k)``.
+    """
+
+    def __init__(self, d_model: int, n_heads: int, dropout: float = 0.1):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.wq = Linear(d_model, d_model)
+        self.wk = Linear(d_model, d_model)
+        self.wv = Linear(d_model, d_model)
+        self.wo = Linear(d_model, d_model)
+        self.dropout = Dropout(dropout)
+        self.scale = 1.0 / math.sqrt(d_model // n_heads)
+
+    def forward(
+        self, q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None
+    ) -> Tensor:
+        qh = _split_heads(self.wq(q), self.n_heads)
+        kh = _split_heads(self.wk(k), self.n_heads)
+        vh = _split_heads(self.wv(v), self.n_heads)
+
+        scores = (qh @ kh.transpose(0, 1, 3, 2)) * self.scale  # (B,H,Tq,Tk)
+        if mask is not None:
+            scores = scores + Tensor(mask.astype(np.float32))
+        attn = softmax(scores, axis=-1)
+        attn = self.dropout(attn)
+        ctx = _merge_heads(attn @ vh)
+        return self.wo(ctx)
+
+    def __repr__(self) -> str:
+        return f"MultiHeadAttention(d={self.d_model}, heads={self.n_heads})"
+
+
+class PositionwiseFFN(Module):
+    """Two-layer feed-forward net ``d_model -> d_ff -> d_model`` with ReLU."""
+
+    def __init__(self, d_model: int, d_ff: int, dropout: float = 0.1):
+        super().__init__()
+        self.layer1 = Linear(d_model, d_ff)
+        self.layer2 = Linear(d_ff, d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.layer2(self.dropout(self.layer1(x).relu()))
+
+
+class PositionalEncoding(Module):
+    """Fixed sinusoidal positional encoding (no trainable weights)."""
+
+    def __init__(self, d_model: int, max_len: int = 512, dropout: float = 0.1):
+        super().__init__()
+        pos = np.arange(max_len)[:, None]
+        i = np.arange(0, d_model, 2)[None, :]
+        angle = pos / np.power(10000.0, i / d_model)
+        pe = np.zeros((max_len, d_model), dtype=np.float32)
+        pe[:, 0::2] = np.sin(angle)
+        pe[:, 1::2] = np.cos(angle)
+        self.register_buffer("pe", pe)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        t = x.shape[1]
+        return self.dropout(x + Tensor(self.pe[:t]))
+
+
+class TransformerEncoderLayer(Module):
+    """Post-norm encoder block: self-attention + FFN, each with residual."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: int, dropout: float = 0.1):
+        super().__init__()
+        self.self_attn = MultiHeadAttention(d_model, n_heads, dropout)
+        self.ffn = PositionwiseFFN(d_model, d_ff, dropout)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = self.norm1(x + self.dropout(self.self_attn(x, x, x, mask)))
+        x = self.norm2(x + self.dropout(self.ffn(x)))
+        return x
+
+
+class TransformerDecoderLayer(Module):
+    """Post-norm decoder block: masked self-attn, cross-attn, FFN."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: int, dropout: float = 0.1):
+        super().__init__()
+        self.self_attn = MultiHeadAttention(d_model, n_heads, dropout)
+        self.enc_attn = MultiHeadAttention(d_model, n_heads, dropout)
+        self.ffn = PositionwiseFFN(d_model, d_ff, dropout)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.norm3 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: np.ndarray | None = None,
+        memory_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        x = self.norm1(x + self.dropout(self.self_attn(x, x, x, self_mask)))
+        x = self.norm2(x + self.dropout(self.enc_attn(x, memory, memory, memory_mask)))
+        x = self.norm3(x + self.dropout(self.ffn(x)))
+        return x

@@ -1,0 +1,62 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chains modules; children are addressable by numeric string keys."""
+
+    def __init__(self, *mods: Module):
+        super().__init__()
+        for i, mod in enumerate(mods):
+            setattr(self, str(i), mod)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for mod in self._modules.values():
+            x = mod(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, mod: Module) -> "Sequential":
+        setattr(self, str(len(self._modules)), mod)
+        return self
+
+
+class ModuleList(Module):
+    """Holds an ordered list of modules without implying a forward order."""
+
+    def __init__(self, mods: Iterable[Module] = ()):
+        super().__init__()
+        for i, mod in enumerate(mods):
+            setattr(self, str(i), mod)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, mod: Module) -> "ModuleList":
+        setattr(self, str(len(self._modules)), mod)
+        return self
+
+    def forward(self, *a, **k):
+        raise RuntimeError("ModuleList has no forward; iterate over it instead")

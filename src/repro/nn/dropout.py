@@ -1,0 +1,25 @@
+"""Dropout module."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, dropout
+from ..utils import get_rng
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.5):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self.training, get_rng())
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

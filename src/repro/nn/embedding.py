@@ -1,0 +1,36 @@
+"""Token embedding layer with optional weight tying."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, embedding
+from ..utils import get_rng
+from .module import Module, Parameter
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """Lookup table ``(num_embeddings, dim)``.
+
+    The LSTM language model ties its decoder to this weight (Press & Wolf
+    2016), which is why the paper leaves the embedding un-factorized — it's
+    "just a look-up table".
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, padding_idx: int | None = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.padding_idx = padding_idx
+        w = get_rng().standard_normal((num_embeddings, dim)).astype(np.float32) * 0.1
+        if padding_idx is not None:
+            w[padding_idx] = 0.0
+        self.weight = Parameter(w)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding(self.weight, np.asarray(indices))
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.dim})"

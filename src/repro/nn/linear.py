@@ -1,0 +1,45 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with weight shape ``(out, in)``.
+
+    Keeping the PyTorch ``(out_features, in_features)`` orientation makes
+    the SVD factorization bookkeeping in :mod:`repro.core` line up with the
+    paper's appendix tables.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features)))
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias = Parameter(init.uniform((out_features,), bound))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

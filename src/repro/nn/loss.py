@@ -1,0 +1,48 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, cross_entropy, log_softmax, nll_loss
+from .module import Module
+
+__all__ = ["CrossEntropyLoss", "NLLLoss", "MSELoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over logits, with optional label smoothing and
+    an ``ignore_index`` for padded tokens (mean over non-ignored entries)."""
+
+    def __init__(self, label_smoothing: float = 0.0, ignore_index: int | None = None):
+        super().__init__()
+        self.label_smoothing = label_smoothing
+        self.ignore_index = ignore_index
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(
+            logits,
+            targets,
+            label_smoothing=self.label_smoothing,
+            ignore_index=self.ignore_index,
+        )
+
+
+class NLLLoss(Module):
+    """Negative log-likelihood over log-probabilities."""
+
+    def __init__(self, ignore_index: int | None = None):
+        super().__init__()
+        self.ignore_index = ignore_index
+
+    def forward(self, log_probs: Tensor, targets: np.ndarray) -> Tensor:
+        return nll_loss(log_probs, targets, ignore_index=self.ignore_index)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        diff = pred - target
+        return (diff * diff).mean()

@@ -1,0 +1,24 @@
+"""Optimizers and LR schedules."""
+
+from .optimizer import Optimizer, clip_grad_norm
+from .sgd import SGD
+from .adam import Adam
+from .lr_scheduler import (
+    MultiStepLR,
+    LinearWarmup,
+    ReduceLROnPlateau,
+    StepDecayAt,
+    CosineAnnealingLR,
+)
+
+__all__ = [
+    "Optimizer",
+    "clip_grad_norm",
+    "SGD",
+    "Adam",
+    "MultiStepLR",
+    "LinearWarmup",
+    "ReduceLROnPlateau",
+    "StepDecayAt",
+    "CosineAnnealingLR",
+]

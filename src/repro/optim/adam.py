@@ -1,0 +1,51 @@
+"""Adam optimizer (Kingma & Ba 2015), used for the Transformer task."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        b1, b2 = self.betas
+        for p in self.params:
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay > 0 and not getattr(p, "no_decay", False):
+                g = g + self.weight_decay * p.data
+            state = self._state_for(p)
+            if not state:
+                state["step"] = 0
+                state["m"] = np.zeros_like(p.data)
+                state["v"] = np.zeros_like(p.data)
+            state["step"] += 1
+            t = state["step"]
+            m, v = state["m"], state["v"]
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / (1 - b1**t)
+            v_hat = v / (1 - b2**t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

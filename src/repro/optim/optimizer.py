@@ -1,0 +1,65 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter`.
+
+    Subclasses implement :meth:`step`.  Per-parameter state (momentum
+    buffers, Adam moments) is keyed by parameter identity and survives
+    in-place data updates.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: list[Parameter] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = float(lr)
+        self.state: dict[int, dict] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _state_for(self, p: Parameter) -> dict:
+        s = self.state.get(id(p))
+        if s is None:
+            s = self.state[id(p)] = {}
+        return s
+
+    def rebind(self, params: Iterable[Parameter]) -> None:
+        """Point the optimizer at a new parameter list, dropping stale state.
+
+        Used when Pufferfish swaps the vanilla model for its factorized
+        counterpart mid-training: the new U/V parameters start with fresh
+        optimizer state, exactly as re-instantiating the optimizer would.
+        """
+        self.params = [p for p in params]
+        self.state = {}
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Clip the global L2 norm of all gradients to ``max_norm``.
+
+    Returns the pre-clip norm (for logging), matching
+    ``torch.nn.utils.clip_grad_norm_`` semantics.
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad.astype(np.float64) ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / (total + 1e-6)
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,50 @@
+"""SGD with momentum and decoupled-from-norm weight decay.
+
+Matches the paper's CIFAR/ImageNet recipe: momentum 0.9, L2 regularization
+applied to conv/FC weights but *not* to BatchNorm parameters (Appendix I) —
+parameters flagged ``no_decay`` are exempted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay > 0 and not getattr(p, "no_decay", False):
+                g = g + self.weight_decay * p.data
+            if self.momentum > 0:
+                state = self._state_for(p)
+                buf = state.get("momentum")
+                if buf is None:
+                    buf = state["momentum"] = g.astype(np.float32).copy()
+                else:
+                    buf *= self.momentum
+                    buf += g
+                g = g + self.momentum * buf if self.nesterov else buf
+            p.data -= self.lr * g

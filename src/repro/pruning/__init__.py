@@ -1,0 +1,38 @@
+"""Pruning baselines: Lottery Ticket iterative magnitude pruning and
+Early-Bird structured channel pruning."""
+
+from .lth import (
+    prunable_weights,
+    global_magnitude_mask,
+    apply_masks,
+    sparsity,
+    LTHRunner,
+    LTHRound,
+)
+from .early_bird import (
+    bn_channel_scores,
+    channel_mask,
+    mask_distance,
+    EarlyBirdDetector,
+    prune_vgg,
+    prune_resnet,
+    resnet_internal_bns,
+    bn_l1_penalty_grad,
+)
+
+__all__ = [
+    "prunable_weights",
+    "global_magnitude_mask",
+    "apply_masks",
+    "sparsity",
+    "LTHRunner",
+    "LTHRound",
+    "bn_channel_scores",
+    "channel_mask",
+    "mask_distance",
+    "EarlyBirdDetector",
+    "prune_vgg",
+    "prune_resnet",
+    "resnet_internal_bns",
+    "bn_l1_penalty_grad",
+]

@@ -1,0 +1,42 @@
+"""NumPy-backed reverse-mode autodiff engine.
+
+The substrate for the Pufferfish reproduction: a :class:`Tensor` with a
+dynamic autograd graph, convolution/pooling kernels via im2col, and fused
+functional primitives (softmax, cross-entropy, embedding, dropout).
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .conv_ops import conv2d, max_pool2d, avg_pool2d, global_avg_pool2d, im2col, col2im
+from .functional import (
+    softmax,
+    log_softmax,
+    cross_entropy,
+    nll_loss,
+    embedding,
+    dropout,
+    one_hot,
+)
+from .grad_check import numerical_grad, check_gradients
+from .profiler import count_macs
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "im2col",
+    "col2im",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "embedding",
+    "dropout",
+    "one_hot",
+    "numerical_grad",
+    "check_gradients",
+    "count_macs",
+]

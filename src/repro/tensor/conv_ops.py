@@ -1,0 +1,181 @@
+"""Convolution and pooling primitives built on im2col.
+
+All routines operate on NCHW layout.  The im2col transform turns a
+convolution into one big matrix multiplication, which keeps both the
+forward and backward passes inside BLAS instead of Python loops — the
+standard trick for NumPy-only deep-learning stacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d", "im2col", "col2im"]
+
+
+def _out_size(size: int, k: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - k) // stride + 1
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x: ``(N, C, H, W)`` input.
+
+    Returns
+    -------
+    ``(N * out_h * out_w, C * kh * kw)`` matrix where each row is one
+    receptive field.
+    """
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kh, stride, pad)
+    out_w = _out_size(w, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+    # as_strided view over all (kh, kw) windows: (N, C, out_h, out_w, kh, kw)
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # -> (N, out_h, out_w, C, kh, kw) -> rows
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to image layout."""
+    n, c, h, w = x_shape
+    out_h = _out_size(h, kh, stride, pad)
+    out_w = _out_size(w, kw, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    # Accumulate each kernel offset in a vectorized slab assignment.
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, :, :, i, j]
+    if pad > 0:
+        return padded[:, :, pad : pad + h, pad : pad + w]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) in NCHW with OIHW weights.
+
+    ``weight`` has shape ``(c_out, c_in, kh, kw)``.  The forward pass is a
+    single GEMM over the im2col matrix; the backward pass reuses the cached
+    columns for the weight gradient and col2im for the input gradient.
+    """
+    n, c_in, h, w = x.data.shape
+    c_out, c_in_w, kh, kw = weight.data.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    out_h = _out_size(h, kh, stride, padding)
+    out_w = _out_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, kh, kw, stride, padding)  # (N*oh*ow, C*kh*kw)
+    w2d = weight.data.reshape(c_out, -1)  # (c_out, C*kh*kw)
+    out = cols @ w2d.T  # (N*oh*ow, c_out)
+    from .profiler import add_macs, macs_active
+
+    if macs_active():
+        # c_in·c_out·k²·H_out·W_out MACs per image (Table 1's conv formula).
+        add_macs(cols.shape[0] * cols.shape[1] * c_out)
+    if bias is not None:
+        out = out + bias.data
+    out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(g: np.ndarray) -> None:
+        g2d = g.transpose(0, 2, 3, 1).reshape(-1, c_out)  # (N*oh*ow, c_out)
+        if weight.requires_grad:
+            weight._accumulate((g2d.T @ cols).reshape(weight.data.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g2d.sum(axis=0))
+        if x.requires_grad:
+            gcols = g2d @ w2d  # (N*oh*ow, C*kh*kw)
+            x._accumulate(col2im(gcols, x.data.shape, kh, kw, stride, padding))
+
+    return Tensor._from_op(np.ascontiguousarray(out), parents, backward, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling with square window; ``stride`` defaults to ``kernel``."""
+    stride = stride or kernel
+    n, c, h, w = x.data.shape
+    out_h = _out_size(h, kernel, stride, 0)
+    out_w = _out_size(w, kernel, stride, 0)
+
+    sn, sc, sh, sw = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+    argmax = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(g: np.ndarray) -> None:
+        grad_flat = np.zeros(flat.shape, dtype=g.dtype)
+        np.put_along_axis(grad_flat, argmax[..., None], g[..., None], axis=-1)
+        # Reorder to im2col's row convention: rows are (n, oh, ow), cols (c, kh, kw)
+        grad_cols = grad_flat.transpose(0, 2, 3, 1, 4).reshape(
+            n * out_h * out_w, c * kernel * kernel
+        )
+        x._accumulate(col2im(grad_cols, x.data.shape, kernel, kernel, stride, 0))
+
+    return Tensor._from_op(np.ascontiguousarray(out), (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling with square window."""
+    stride = stride or kernel
+    n, c, h, w = x.data.shape
+    out_h = _out_size(h, kernel, stride, 0)
+    out_w = _out_size(w, kernel, stride, 0)
+
+    sn, sc, sh, sw = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    out = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(g: np.ndarray) -> None:
+        g_spread = np.broadcast_to(
+            (g * scale)[..., None, None], (n, c, out_h, out_w, kernel, kernel)
+        )
+        grad_cols = g_spread.transpose(0, 2, 3, 1, 4, 5).reshape(
+            n * out_h * out_w, c * kernel * kernel
+        )
+        x._accumulate(col2im(grad_cols, x.data.shape, kernel, kernel, stride, 0))
+
+    return Tensor._from_op(np.ascontiguousarray(out), (x,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning ``(N, C)``."""
+    return x.mean(axis=(2, 3))

@@ -1,0 +1,42 @@
+"""Operation-level MAC accounting.
+
+A process-global counter that the engine's GEMM and convolution kernels
+increment while a :class:`count_macs` context is active.  Because every
+layer in the library (Linear, Conv2d, LSTM, attention, and their low-rank
+variants) bottoms out in these two kernels, a single instrumented forward
+pass yields the exact multiply-accumulate count the paper reports in its
+"MACs (G)" columns — no per-layer analytic bookkeeping required.
+"""
+
+from __future__ import annotations
+
+__all__ = ["count_macs", "macs_active", "add_macs"]
+
+_COUNTER: list[int] | None = None
+
+
+class count_macs:
+    """Context manager; ``.total`` holds the MACs accumulated inside."""
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def __enter__(self) -> "count_macs":
+        global _COUNTER
+        self._prev = _COUNTER
+        _COUNTER = [0]
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _COUNTER
+        self.total = _COUNTER[0]
+        _COUNTER = self._prev
+
+
+def macs_active() -> bool:
+    return _COUNTER is not None
+
+
+def add_macs(n: int) -> None:
+    if _COUNTER is not None:
+        _COUNTER[0] += int(n)

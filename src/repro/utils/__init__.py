@@ -1,0 +1,16 @@
+"""Shared utilities: seeding, logging, checkpointing."""
+
+from .seed import set_seed, get_rng, spawn_rng
+from .logging import Logger
+from .serialization import save_checkpoint, load_checkpoint, save_model, load_model
+
+__all__ = [
+    "set_seed",
+    "get_rng",
+    "spawn_rng",
+    "Logger",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,41 @@
+"""Tiny structured logger used by trainers and benchmark harnesses."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["Logger"]
+
+
+class Logger:
+    """Prints key=value records with an elapsed-time prefix.
+
+    Parameters
+    ----------
+    name: tag prepended to every line.
+    stream: file-like sink; defaults to stdout.
+    enabled: set False to silence (used by tests).
+    """
+
+    def __init__(self, name: str = "repro", stream=None, enabled: bool = True):
+        self.name = name
+        self.stream = stream or sys.stdout
+        self.enabled = enabled
+        self._t0 = time.perf_counter()
+
+    def log(self, msg: str = "", /, **fields) -> None:
+        if not self.enabled:
+            return
+        elapsed = time.perf_counter() - self._t0
+        parts = [f"[{self.name} +{elapsed:8.2f}s]"]
+        if msg:
+            parts.append(msg)
+        parts.extend(f"{k}={_fmt(v)}" for k, v in fields.items())
+        print(" ".join(parts), file=self.stream)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)

@@ -1,0 +1,88 @@
+"""Checkpointing: save/load model and optimizer state as ``.npz`` files.
+
+Keeps the whole training state restartable — model parameters and buffers,
+optimizer hyper-parameters and per-parameter state (momentum buffers, Adam
+moments), and arbitrary user metadata (epoch, best metric, ...).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to keep repro.utils free of cycles
+    from ..nn.module import Module
+    from ..optim.optimizer import Optimizer
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_model", "load_model"]
+
+_META_KEY = "__meta_json__"
+
+
+def save_model(model: Module, path: str | Path) -> None:
+    """Write a model's state dict to ``path`` (.npz)."""
+    arrays = {f"model/{k}": v for k, v in model.state_dict().items()}
+    np.savez(path, **arrays)
+
+
+def load_model(model: Module, path: str | Path, strict: bool = True) -> None:
+    """Load a state dict saved by :func:`save_model` into ``model``."""
+    with np.load(path) as data:
+        state = {k[len("model/"):]: data[k] for k in data.files if k.startswith("model/")}
+    model.load_state_dict(state, strict=strict)
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    **metadata,
+) -> None:
+    """Write model + optimizer + JSON-serializable metadata to one .npz."""
+    arrays: dict[str, np.ndarray] = {
+        f"model/{k}": v for k, v in model.state_dict().items()
+    }
+    meta: dict = {"metadata": metadata}
+    if optimizer is not None:
+        meta["optimizer"] = {"lr": optimizer.lr, "type": type(optimizer).__name__}
+        # Optimizer state is keyed by parameter position (stable across a
+        # save/load as long as the parameter list order is unchanged).
+        for idx, p in enumerate(optimizer.params):
+            state = optimizer.state.get(id(p), {})
+            for key, value in state.items():
+                if isinstance(value, np.ndarray):
+                    arrays[f"opt/{idx}/{key}"] = value
+                else:
+                    meta.setdefault("opt_scalars", {})[f"{idx}/{key}"] = value
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(
+    path: str | Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    strict: bool = True,
+) -> dict:
+    """Restore model (+ optimizer) state; returns the saved metadata dict."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data[_META_KEY]).decode()) if _META_KEY in data.files else {}
+        state = {k[len("model/"):]: data[k] for k in data.files if k.startswith("model/")}
+        model.load_state_dict(state, strict=strict)
+        if optimizer is not None:
+            if "optimizer" in meta:
+                optimizer.lr = float(meta["optimizer"]["lr"])
+            for key in data.files:
+                if not key.startswith("opt/"):
+                    continue
+                _, idx, state_key = key.split("/", 2)
+                p = optimizer.params[int(idx)]
+                optimizer._state_for(p)[state_key] = data[key].copy()
+            for flat_key, value in meta.get("opt_scalars", {}).items():
+                idx, state_key = flat_key.split("/", 1)
+                p = optimizer.params[int(idx)]
+                optimizer._state_for(p)[state_key] = value
+    return meta.get("metadata", {})

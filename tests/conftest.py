@@ -1,0 +1,18 @@
+"""Shared fixtures: deterministic seeding for every test."""
+
+import numpy as np
+import pytest
+
+from repro.utils import set_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    set_seed(1234)
+    np.random.seed(1234)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,99 @@
+"""CLI smoke tests: every subcommand end-to-end on tiny workloads."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "resnet18"
+        assert args.method == "pufferfish"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "alexnet"])
+
+    def test_rejects_unknown_compressor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--compressor", "zip"])
+
+
+class TestFactorizeCommand:
+    def test_runs_for_each_model(self, capsys):
+        for model in ("mlp", "vgg11", "resnet18"):
+            rc = main(["factorize", "--model", model, "--width", "0.125",
+                       "--classes", "4"])
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert "x smaller" in out
+        assert "factorized layers" in out
+
+
+class TestTrainCommand:
+    def test_pufferfish_training(self, capsys):
+        rc = main([
+            "train", "--model", "mlp", "--method", "pufferfish",
+            "--epochs", "3", "--warmup-epochs", "1", "--samples", "96",
+            "--batch-size", "32",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best val accuracy" in out
+        assert "factorized:" in out
+
+    def test_vanilla_training(self, capsys):
+        rc = main([
+            "train", "--model", "mlp", "--method", "vanilla",
+            "--epochs", "2", "--samples", "96", "--batch-size", "32",
+        ])
+        assert rc == 0
+        assert "best val accuracy" in capsys.readouterr().out
+
+    def test_checkpoint_written(self, tmp_path, capsys):
+        ckpt = tmp_path / "final.npz"
+        rc = main([
+            "train", "--model", "mlp", "--method", "vanilla",
+            "--epochs", "1", "--samples", "64", "--batch-size", "32",
+            "--checkpoint", str(ckpt),
+        ])
+        assert rc == 0
+        assert ckpt.exists()
+        with np.load(ckpt) as data:
+            assert any(k.startswith("model/") for k in data.files)
+
+
+class TestSimulateCommand:
+    def test_vanilla_simulation(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compute" in out and "comm" in out
+
+    def test_pufferfish_with_compressor(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--method", "pufferfish",
+            "--nodes", "2", "--compressor", "topk",
+            "--batch-size", "8", "--iterations", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pufferfish model" in out
+
+    @pytest.mark.parametrize("compressor", ["powersgd", "signum", "qsgd", "binary", "atomo"])
+    def test_every_compressor_runs(self, compressor, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--compressor", compressor, "--batch-size", "8",
+            "--iterations", "1",
+        ])
+        assert rc == 0

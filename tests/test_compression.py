@@ -1,0 +1,224 @@
+"""Gradient compressors: exactness, unbiasedness, error feedback, wire
+sizes, and allreduce compatibility flags."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    NoCompression,
+    PowerSGD,
+    QSGD,
+    Signum,
+    StochasticBinary,
+    TopK,
+)
+
+
+def grads_for(rng, shapes=((8, 6), (5,), (4, 3, 3, 3))):
+    return [rng.standard_normal(s).astype(np.float32) for s in shapes]
+
+
+class TestNoCompression:
+    def test_exact_average(self, rng):
+        comp = NoCompression(3)
+        gsets = [grads_for(rng) for _ in range(3)]
+        agg = comp.decode_aggregate([comp.encode(w, g) for w, g in enumerate(gsets)])
+        for i in range(3):
+            expected = np.mean([g[i] for g in gsets], axis=0)
+            assert np.allclose(agg[i], expected, atol=1e-6)
+
+    def test_wire_size_is_fp32(self, rng):
+        comp = NoCompression(1)
+        g = grads_for(rng)
+        res = comp.encode(0, g)
+        assert res.nbytes == sum(x.size for x in g) * 4
+
+    def test_allreduce_compatible(self):
+        assert NoCompression(2).allreduce_compatible
+
+
+class TestPowerSGD:
+    def test_wire_size_much_smaller(self, rng):
+        comp = PowerSGD(2, rank=2)
+        g = [rng.standard_normal((128, 128)).astype(np.float32)]
+        res = comp.encode(0, g)
+        assert res.nbytes < 0.1 * g[0].size * 4
+
+    def test_rank1_tensors_sent_raw(self, rng):
+        comp = PowerSGD(1, rank=2)
+        g = [rng.standard_normal(7).astype(np.float32)]
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert np.allclose(agg[0], g[0], atol=1e-6)
+
+    def test_exact_for_lowrank_gradient_after_warmup(self, rng):
+        # A truly rank-2 gradient should be recovered (nearly) exactly once
+        # the power iteration has aligned Q.
+        comp = PowerSGD(1, rank=2, error_feedback=False)
+        a = rng.standard_normal((16, 2)).astype(np.float32)
+        b = rng.standard_normal((2, 12)).astype(np.float32)
+        g = [a @ b]
+        for _ in range(4):
+            agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert np.linalg.norm(agg[0] - g[0]) / np.linalg.norm(g[0]) < 0.05
+
+    def test_error_feedback_reduces_bias_over_rounds(self, rng):
+        # With EF, the *sum* of decoded gradients over T rounds approaches
+        # the sum of true gradients (memory compensates what was dropped).
+        g_true = [rng.standard_normal((20, 20)).astype(np.float32)]
+        comp = PowerSGD(1, rank=2, error_feedback=True)
+        total = np.zeros_like(g_true[0])
+        for _ in range(30):
+            agg = comp.decode_aggregate([comp.encode(0, g_true)])
+            total += agg[0]
+        err = np.linalg.norm(total / 30 - g_true[0]) / np.linalg.norm(g_true[0])
+        assert err < 0.25
+
+    def test_shapes_restored_for_conv_grads(self, rng):
+        comp = PowerSGD(1, rank=2)
+        g = [rng.standard_normal((8, 4, 3, 3)).astype(np.float32)]
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert agg[0].shape == (8, 4, 3, 3)
+
+    def test_allreduce_compatible(self):
+        assert PowerSGD(2).allreduce_compatible
+
+
+class TestSignum:
+    def test_one_bit_per_coordinate(self, rng):
+        comp = Signum(1)
+        g = [rng.standard_normal(800).astype(np.float32)]
+        res = comp.encode(0, g)
+        assert res.nbytes == 100  # 800 bits
+
+    def test_majority_vote(self):
+        comp = Signum(3, momentum=0.0)
+        mk = lambda v: [np.array(v, dtype=np.float32)]
+        res = [
+            comp.encode(0, mk([1.0, -1.0])),
+            comp.encode(1, mk([1.0, 1.0])),
+            comp.encode(2, mk([-1.0, -1.0])),
+        ]
+        agg = comp.decode_aggregate(res)
+        assert np.allclose(agg[0], [1.0, -1.0])
+
+    def test_momentum_smooths_sign(self):
+        comp = Signum(1, momentum=0.9)
+        g_pos = [np.array([10.0], dtype=np.float32)]
+        g_neg = [np.array([-0.1], dtype=np.float32)]
+        comp.decode_aggregate([comp.encode(0, g_pos)])
+        agg = comp.decode_aggregate([comp.encode(0, g_neg)])
+        # Momentum keeps the sign positive despite the small negative grad.
+        assert agg[0][0] == 1.0
+
+    def test_not_allreduce_compatible(self):
+        assert not Signum(2).allreduce_compatible
+
+    def test_output_values_are_signs(self, rng):
+        comp = Signum(2)
+        gsets = [grads_for(rng), grads_for(rng)]
+        agg = comp.decode_aggregate([comp.encode(w, g) for w, g in enumerate(gsets)])
+        for a in agg:
+            assert set(np.unique(a)).issubset({-1.0, 0.0, 1.0})
+
+
+class TestQSGD:
+    def test_unbiased(self, rng):
+        comp = QSGD(1, levels=8)
+        g = [rng.standard_normal(500).astype(np.float32)]
+        est = np.mean(
+            [comp.decode_aggregate([comp.encode(0, g)])[0] for _ in range(300)], axis=0
+        )
+        noise_bound = np.linalg.norm(g[0]) / 8 / np.sqrt(300) * 5
+        assert np.abs(est - g[0]).max() < noise_bound + 0.05
+
+    def test_zero_gradient_roundtrip(self):
+        comp = QSGD(1, levels=4)
+        g = [np.zeros(10, dtype=np.float32)]
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert np.allclose(agg[0], 0)
+
+    def test_invalid_levels_raise(self):
+        with pytest.raises(ValueError):
+            QSGD(1, levels=0)
+        with pytest.raises(ValueError):
+            QSGD(1, levels=1000)
+
+    def test_wire_smaller_than_fp32(self, rng):
+        comp = QSGD(1, levels=16)
+        g = [rng.standard_normal(1000).astype(np.float32)]
+        assert comp.encode(0, g).nbytes < 1000 * 4
+
+
+class TestTopK:
+    def test_keeps_exactly_k(self, rng):
+        comp = TopK(1, ratio=0.05, error_feedback=False)
+        g = [rng.standard_normal(1000).astype(np.float32)]
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert (agg[0] != 0).sum() == 50
+
+    def test_keeps_largest_magnitudes(self, rng):
+        comp = TopK(1, ratio=0.01, error_feedback=False)
+        g = [np.arange(100, dtype=np.float32)]
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert agg[0][99] == 99
+
+    def test_error_feedback_accumulates_residual(self):
+        comp = TopK(1, ratio=0.5, error_feedback=True)
+        g = [np.array([10.0, 1.0], dtype=np.float32)]
+        comp.decode_aggregate([comp.encode(0, g)])  # keeps 10, residual has 1
+        # Second round: residual (1) + new grad (1) = 2 competes with 10's 10.
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert agg[0][0] == 10.0  # still the larger coordinate
+
+    def test_ef_sum_preserved_over_rounds(self, rng):
+        # With EF and constant gradient, total transmitted mass approaches
+        # total true mass.
+        comp = TopK(1, ratio=0.25, error_feedback=True)
+        g = [rng.standard_normal(64).astype(np.float32)]
+        total = np.zeros(64, dtype=np.float64)
+        for _ in range(40):
+            total += comp.decode_aggregate([comp.encode(0, g)])[0]
+        err = np.linalg.norm(total / 40 - g[0]) / np.linalg.norm(g[0])
+        assert err < 0.2
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            TopK(1, ratio=0.0)
+
+    def test_multi_tensor_shapes_restored(self, rng):
+        comp = TopK(1, ratio=0.1)
+        g = grads_for(rng)
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert [a.shape for a in agg] == [x.shape for x in g]
+
+
+class TestStochasticBinary:
+    def test_unbiased(self, rng):
+        comp = StochasticBinary(1)
+        g = [rng.standard_normal(200).astype(np.float32)]
+        est = np.mean(
+            [comp.decode_aggregate([comp.encode(0, g)])[0] for _ in range(400)], axis=0
+        )
+        spread = float(g[0].max() - g[0].min())
+        assert np.abs(est - g[0]).max() < spread / np.sqrt(400) * 6
+
+    def test_one_bit_plus_two_floats(self, rng):
+        comp = StochasticBinary(1)
+        g = [rng.standard_normal(800).astype(np.float32)]
+        assert comp.encode(0, g).nbytes == 100 + 8
+
+    def test_constant_tensor_exact(self):
+        comp = StochasticBinary(1)
+        g = [np.full(16, 3.0, dtype=np.float32)]
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert np.allclose(agg[0], 3.0)
+
+    def test_values_within_minmax(self, rng):
+        comp = StochasticBinary(1)
+        g = [rng.standard_normal(64).astype(np.float32)]
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert agg[0].min() >= g[0].min() - 1e-5
+        assert agg[0].max() <= g[0].max() + 1e-5
+
+    def test_not_allreduce_compatible(self):
+        assert not StochasticBinary(1).allreduce_compatible

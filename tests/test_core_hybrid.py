@@ -1,0 +1,207 @@
+"""Hybrid-network construction: K index, skip rules, overrides, weight and
+buffer transfer (the Algorithm 1 conversion step)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    FactorizationConfig,
+    LowRankConv2d,
+    LowRankLinear,
+    build_hybrid,
+    factorizable_leaves,
+)
+from repro.tensor import Tensor
+
+
+def small_cnn(num_classes=5):
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.Conv2d(8, 16, 3, padding=1),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(16, 16, 3, padding=1),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(16, 32),
+        nn.ReLU(),
+        nn.Linear(32, num_classes),
+    )
+
+
+class TestFactorizableLeaves:
+    def test_enumerates_in_order(self):
+        leaves = factorizable_leaves(small_cnn())
+        paths = [p for p, _ in leaves]
+        assert paths == ["0", "3", "6", "9", "11"]
+
+    def test_counts_lstm(self):
+        from repro.models import LSTMLanguageModel
+
+        lm = LSTMLanguageModel(vocab_size=30, embed_dim=8, num_layers=2, dropout=0.0)
+        leaves = factorizable_leaves(lm)
+        assert len(leaves) == 2  # two LSTMLayer leaves; embedding excluded
+
+
+class TestBuildHybrid:
+    def test_original_model_untouched(self, rng):
+        model = small_cnn()
+        before = model.state_dict()
+        build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        after = model.state_dict()
+        for k in before:
+            assert np.allclose(before[k], after[k])
+
+    def test_first_conv_and_last_fc_kept(self):
+        model = small_cnn()
+        hybrid, report = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        assert "0" in report.kept and "11" in report.kept
+        assert isinstance(hybrid.get_submodule("0"), nn.Conv2d)
+        assert isinstance(hybrid.get_submodule("11"), nn.Linear)
+
+    def test_middle_layers_replaced(self):
+        model = small_cnn()
+        hybrid, report = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        assert isinstance(hybrid.get_submodule("3"), LowRankConv2d)
+        assert isinstance(hybrid.get_submodule("9"), LowRankLinear)
+
+    def test_k_index_keeps_early_layers(self):
+        model = small_cnn()
+        cfg = FactorizationConfig(rank_ratio=0.25, first_lowrank_index=3)
+        hybrid, report = build_hybrid(model, cfg)
+        # leaves 0,1,2 kept -> convs "0","3","6" stay vanilla
+        assert isinstance(hybrid.get_submodule("3"), nn.Conv2d)
+        assert isinstance(hybrid.get_submodule("6"), nn.Conv2d)
+        assert isinstance(hybrid.get_submodule("9"), LowRankLinear)
+
+    def test_huge_k_leaves_model_unchanged(self):
+        model = small_cnn()
+        cfg = FactorizationConfig(first_lowrank_index=100)
+        hybrid, report = build_hybrid(model, cfg)
+        assert report.replaced == []
+        assert report.params_after == report.params_before
+
+    def test_full_rank_prefixes(self):
+        model = small_cnn()
+        cfg = FactorizationConfig(rank_ratio=0.25, full_rank_prefixes=("9",))
+        hybrid, _ = build_hybrid(model, cfg)
+        assert isinstance(hybrid.get_submodule("9"), nn.Linear)
+
+    def test_rank_overrides(self):
+        model = small_cnn()
+        cfg = FactorizationConfig(rank_ratio=0.25, rank_overrides={"3": 2})
+        hybrid, report = build_hybrid(model, cfg)
+        assert hybrid.get_submodule("3").rank == 2
+        assert dict(report.replaced)["3"] == 2
+
+    def test_compression_reported(self):
+        model = small_cnn()
+        _, report = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        assert report.compression > 1.0
+        assert report.params_after < report.params_before
+        assert report.svd_seconds >= 0
+
+    def test_disable_skip_rules(self):
+        model = small_cnn()
+        cfg = FactorizationConfig(
+            rank_ratio=0.5, skip_first_conv=False, skip_last_fc=False
+        )
+        hybrid, report = build_hybrid(model, cfg)
+        assert report.kept == []
+        assert isinstance(hybrid.get_submodule("0"), LowRankConv2d)
+
+
+class TestWeightTransfer:
+    def test_bn_buffers_carried(self, rng):
+        model = small_cnn()
+        # populate BN running stats
+        model.train()
+        for _ in range(5):
+            model(Tensor(rng.standard_normal((8, 3, 8, 8))))
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        bn_src = model.get_submodule("1")
+        bn_dst = hybrid.get_submodule("1")
+        assert np.allclose(bn_src.running_mean, bn_dst.running_mean)
+        assert np.allclose(bn_src.running_var, bn_dst.running_var)
+
+    def test_kept_layer_weights_identical(self):
+        model = small_cnn()
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        assert np.allclose(
+            model.get_submodule("0").weight.data, hybrid.get_submodule("0").weight.data
+        )
+
+    def test_outputs_close_at_high_rank_ratio(self, rng):
+        model = small_cnn()
+        model.eval()
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=1.0))
+        hybrid.eval()
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)))
+        assert np.allclose(model(x).data, hybrid(x).data, atol=1e-3)
+
+    def test_approximation_improves_with_ratio(self, rng):
+        model = small_cnn()
+        model.eval()
+        x = Tensor(rng.standard_normal((4, 3, 8, 8)))
+        ref = model(x).data
+        errs = []
+        for ratio in (0.1, 0.5, 1.0):
+            hyb, _ = build_hybrid(model, FactorizationConfig(rank_ratio=ratio))
+            hyb.eval()
+            errs.append(np.abs(hyb(x).data - ref).max())
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_hybrid_is_independent_copy(self, rng):
+        model = small_cnn()
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        hybrid.get_submodule("0").weight.data[:] = 0
+        assert not np.allclose(model.get_submodule("0").weight.data, 0)
+
+    def test_hybrid_trains(self, rng):
+        from repro.optim import SGD
+
+        model = small_cnn(num_classes=3)
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        opt = SGD(hybrid.parameters(), lr=0.01)
+        x = Tensor(rng.standard_normal((4, 3, 8, 8)))
+        y = rng.integers(0, 3, 4)
+        loss_fn = nn.CrossEntropyLoss()
+        l0 = loss_fn(hybrid(x), y)
+        l0.backward()
+        opt.step()
+        l1 = loss_fn(hybrid(x), y)
+        assert l1.item() < l0.item() + 1e-3
+
+
+class TestModelSpecificConfigs:
+    def test_transformer_first_blocks_full_rank(self):
+        from repro.models import Seq2SeqTransformer, transformer_hybrid_config
+
+        tr = Seq2SeqTransformer(vocab_size=40, d_model=16, n_heads=2, num_layers=2, max_len=16)
+        hybrid, report = build_hybrid(tr, transformer_hybrid_config())
+        kept_paths = set(report.kept)
+        assert any(p.startswith("encoder_layers.0") for p in kept_paths)
+        assert any(p.startswith("decoder_layers.0") for p in kept_paths)
+        replaced_paths = [p for p, _ in report.replaced]
+        assert any(p.startswith("encoder_layers.1") for p in replaced_paths)
+
+    def test_resnet18_downsamples_kept(self):
+        from repro.models import resnet18, resnet18_hybrid_config
+
+        model = resnet18(num_classes=10, width_mult=0.25)
+        hybrid, report = build_hybrid(model, resnet18_hybrid_config(model))
+        for path in report.kept:
+            sub = hybrid.get_submodule(path)
+            assert not isinstance(sub, (LowRankConv2d, LowRankLinear))
+        assert all("downsample" not in p for p, _ in report.replaced)
+
+    def test_resnet50_only_layer4_replaced(self):
+        from repro.models import resnet50, resnet50_hybrid_config
+
+        model = resnet50(num_classes=10, width_mult=0.125, small_input=True)
+        _, report = build_hybrid(model, resnet50_hybrid_config(model))
+        assert report.replaced, "layer4 should be factorized"
+        assert all(p.startswith("layer4") for p, _ in report.replaced)

@@ -1,0 +1,202 @@
+"""Spectral analysis tools and automatic rank allocation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    FactorizationConfig,
+    allocation_report,
+    budget_rank_allocation,
+    build_hybrid,
+    effective_rank,
+    energy_curve,
+    energy_rank,
+    energy_rank_allocation,
+    layer_spectra,
+    singular_values,
+    stable_rank,
+)
+
+
+class TestSingularValues:
+    def test_2d_matches_numpy(self, rng):
+        w = rng.standard_normal((8, 5)).astype(np.float32)
+        s = singular_values(w)
+        np.testing.assert_allclose(s, np.linalg.svd(w.astype(np.float64), compute_uv=False))
+
+    def test_conv_kernel_unrolled(self, rng):
+        w = rng.standard_normal((6, 3, 3, 3)).astype(np.float32)
+        s = singular_values(w)
+        assert len(s) == min(3 * 9, 6)
+
+    def test_invalid_ndim_raises(self, rng):
+        with pytest.raises(ValueError):
+            singular_values(rng.standard_normal(5))
+
+
+class TestEnergyCurve:
+    def test_monotone_and_normalized(self, rng):
+        s = np.sort(np.abs(rng.standard_normal(10)))[::-1]
+        curve = energy_curve(s)
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_zero_spectrum(self):
+        curve = energy_curve(np.zeros(4))
+        assert np.allclose(curve, 1.0)
+
+    def test_energy_rank_exact_lowrank(self):
+        s = np.array([3.0, 2.0, 0.0, 0.0])
+        assert energy_rank(s, 0.999) == 2
+
+    def test_energy_rank_threshold_one_is_full(self):
+        s = np.array([3.0, 2.0, 1.0])
+        assert energy_rank(s, 1.0) == 3
+
+    def test_energy_rank_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            energy_rank(np.ones(3), 0.0)
+
+
+class TestRankSummaries:
+    def test_effective_rank_uniform_spectrum(self):
+        # All-equal singular values -> effective rank == count.
+        assert effective_rank(np.ones(7)) == pytest.approx(7.0, rel=1e-6)
+
+    def test_effective_rank_single_direction(self):
+        assert effective_rank(np.array([5.0, 0.0, 0.0])) == pytest.approx(1.0)
+
+    def test_stable_rank_bounds(self, rng):
+        w = rng.standard_normal((10, 10))
+        s = singular_values(w.astype(np.float32))
+        sr = stable_rank(s)
+        assert 1.0 <= sr <= 10.0
+
+    def test_stable_rank_identity(self):
+        assert stable_rank(np.ones(6)) == pytest.approx(6.0)
+
+    def test_zero_spectrum_ranks(self):
+        assert effective_rank(np.zeros(3)) == 0.0
+        assert stable_rank(np.zeros(3)) == 0.0
+
+
+class TestLayerSpectra:
+    def test_covers_all_leaf_types(self, rng):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3), nn.Flatten(), nn.Linear(4, 2))
+        spectra = layer_spectra(model)
+        assert set(spectra) == {"0", "2"}
+
+    def test_lstm_per_gate(self):
+        model = nn.LSTMLayer(4, 4)
+        spectra = layer_spectra(model)
+        assert len(spectra) == 8  # 4 gates x (ih, hh)
+
+    def test_training_lowers_effective_rank(self, rng):
+        """The paper's spectral-sparsity claim in miniature: fitting a
+        low-rank target drives a layer's effective rank down."""
+        from repro.optim import SGD
+        from repro.tensor import Tensor
+
+        lin = nn.Linear(16, 16, bias=False)
+        before = effective_rank(singular_values(lin.weight.data))
+        # Target function is rank-2.
+        a = rng.standard_normal((16, 2)).astype(np.float32)
+        b = rng.standard_normal((2, 16)).astype(np.float32)
+        target_w = (a @ b).T
+        opt = SGD([lin.weight], lr=0.05)
+        x = Tensor(rng.standard_normal((64, 16)))
+        for _ in range(200):
+            opt.zero_grad()
+            pred = lin(x)
+            tgt = Tensor(x.data @ target_w)
+            ((pred - tgt) ** 2).mean().backward()
+            opt.step()
+        after = effective_rank(singular_values(lin.weight.data))
+        assert after < before
+
+
+class TestEnergyRankAllocation:
+    def _model(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 8, 3, padding=1), nn.ReLU(),
+            nn.Conv2d(8, 8, 3, padding=1), nn.ReLU(), nn.GlobalAvgPool2d(),
+            nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 4),
+        )
+        return model
+
+    def test_returns_overrides_for_conv_and_linear(self, rng):
+        overrides = energy_rank_allocation(self._model(rng), 0.9)
+        assert set(overrides) == {"0", "2", "5", "7"}
+        assert all(r >= 1 for r in overrides.values())
+
+    def test_higher_threshold_never_lowers_rank(self, rng):
+        model = self._model(rng)
+        lo = energy_rank_allocation(model, 0.5)
+        hi = energy_rank_allocation(model, 0.99)
+        for path in lo:
+            assert hi[path] >= lo[path]
+
+    def test_lowrank_weights_get_small_ranks(self, rng):
+        model = nn.Sequential(nn.Linear(16, 16, bias=False))
+        lin = model.get_submodule("0")
+        a = rng.standard_normal((16, 3)).astype(np.float32)
+        b = rng.standard_normal((3, 16)).astype(np.float32)
+        lin.weight.data = (a @ b).astype(np.float32)
+        overrides = energy_rank_allocation(model, 0.999)
+        assert overrides["0"] <= 3
+
+    def test_plugs_into_build_hybrid(self, rng):
+        model = self._model(rng)
+        overrides = energy_rank_allocation(model, 0.8)
+        cfg = FactorizationConfig(rank_overrides=overrides, skip_first_conv=False,
+                                  skip_last_fc=False)
+        hybrid, report = build_hybrid(model, cfg)
+        granted = dict(report.replaced)
+        for path, r in overrides.items():
+            assert granted[path] == r
+
+    def test_max_ratio_caps(self, rng):
+        model = self._model(rng)
+        overrides = energy_rank_allocation(model, 0.9999, max_ratio=0.25)
+        for path, r in overrides.items():
+            pass  # all capped at quarter rank
+        assert overrides["5"] <= max(1, int(0.25 * 8))
+
+
+class TestBudgetRankAllocation:
+    def test_respects_budget(self, rng):
+        model = nn.Sequential(nn.Linear(32, 32, bias=False), nn.ReLU(),
+                              nn.Linear(32, 32, bias=False))
+        budget = 1000
+        ranks = budget_rank_allocation(model, budget)
+        spent = sum(r * 64 for r in ranks.values())
+        assert spent <= budget
+
+    def test_spends_where_energy_is(self, rng):
+        # Layer A is rank-1 (one big atom); layer B has a flat spectrum —
+        # the allocator should give B more rank once A's single direction
+        # is captured.
+        model = nn.Sequential(nn.Linear(16, 16, bias=False), nn.ReLU(),
+                              nn.Linear(16, 16, bias=False))
+        a = model.get_submodule("0")
+        b = model.get_submodule("2")
+        u = rng.standard_normal(16).astype(np.float32)
+        a.weight.data = np.outer(u, u).astype(np.float32)  # rank 1
+        b.weight.data = np.eye(16, dtype=np.float32) * 1.0  # flat spectrum
+        ranks = budget_rank_allocation(model, param_budget=16 * 32 // 2)
+        assert ranks["2"] > ranks["0"]
+
+    def test_tight_budget_floors(self, rng):
+        model = nn.Sequential(nn.Linear(64, 64, bias=False))
+        ranks = budget_rank_allocation(model, param_budget=10)
+        assert ranks["0"] == 1
+
+    def test_allocation_report(self, rng):
+        model = nn.Sequential(nn.Linear(8, 8, bias=False))
+        overrides = {"0": 4}
+        rows = allocation_report(model, overrides)
+        assert len(rows) == 1
+        path, full, r, energy = rows[0]
+        assert path == "0" and full == 8 and r == 4
+        assert 0.0 < energy <= 1.0

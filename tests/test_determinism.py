@@ -1,0 +1,122 @@
+"""Reproducibility guarantees: seeded runs are bit-identical."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import FactorizationConfig, PufferfishTrainer, Trainer, build_hybrid
+from repro.data import DataLoader, make_cifar_like, make_lm_corpus, make_translation_dataset
+from repro.models import MLP, resnet18, vgg11
+from repro.optim import SGD
+from repro.tensor import Tensor
+from repro.utils import set_seed, spawn_rng
+
+
+class TestSeededConstruction:
+    def test_model_init_reproducible(self):
+        set_seed(123)
+        m1 = vgg11(num_classes=4, width_mult=0.125)
+        set_seed(123)
+        m2 = vgg11(num_classes=4, width_mult=0.125)
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_different_seeds_differ(self):
+        set_seed(1)
+        m1 = MLP(8, [16], 4)
+        set_seed(2)
+        m2 = MLP(8, [16], 4)
+        assert not np.allclose(
+            m1.get_submodule("net.0").weight.data,
+            m2.get_submodule("net.0").weight.data,
+        )
+
+    def test_spawn_rng_reproducible(self):
+        set_seed(9)
+        a = spawn_rng().standard_normal(5)
+        set_seed(9)
+        b = spawn_rng().standard_normal(5)
+        assert np.array_equal(a, b)
+
+
+class TestSeededData:
+    def test_image_dataset(self):
+        a = make_cifar_like(n=16, rng=np.random.default_rng(3))
+        b = make_cifar_like(n=16, rng=np.random.default_rng(3))
+        assert np.array_equal(a.images, b.images)
+
+    def test_lm_corpus(self):
+        a = make_lm_corpus(vocab_size=20, n_train=200, rng=np.random.default_rng(4))
+        b = make_lm_corpus(vocab_size=20, n_train=200, rng=np.random.default_rng(4))
+        assert np.array_equal(a.train, b.train)
+
+    def test_translation(self):
+        a = make_translation_dataset(n=10, rng=np.random.default_rng(5))
+        b = make_translation_dataset(n=10, rng=np.random.default_rng(5))
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.tgt, b.tgt)
+
+
+class TestSeededTraining:
+    def _train_once(self, seed):
+        set_seed(seed)
+        rng = np.random.default_rng(seed)
+        ds = make_cifar_like(n=64, num_classes=3, rng=rng)
+        loader = DataLoader(ds.images, ds.labels, 16, shuffle=True)
+        model = MLP(3 * 32 * 32, [32], 3)
+        t = Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9))
+        t.fit(loader, loader, epochs=2)
+        return model.state_dict(), [s.train_loss for s in t.history]
+
+    def test_full_run_bit_identical(self):
+        sd1, losses1 = self._train_once(7)
+        sd2, losses2 = self._train_once(7)
+        assert losses1 == losses2
+        for k in sd1:
+            assert np.array_equal(sd1[k], sd2[k])
+
+    def test_pufferfish_run_reproducible(self):
+        def run():
+            set_seed(11)
+            rng = np.random.default_rng(11)
+            ds = make_cifar_like(n=64, num_classes=3, rng=rng)
+            loader = DataLoader(ds.images, ds.labels, 16, shuffle=True)
+            model = MLP(3 * 32 * 32, [32, 32], 3)
+            pt = PufferfishTrainer(
+                model,
+                FactorizationConfig(rank_ratio=0.25),
+                optimizer_factory=lambda p: SGD(p, lr=0.05, momentum=0.9),
+                warmup_epochs=1,
+                total_epochs=3,
+            )
+            hybrid = pt.fit(loader, loader)
+            return hybrid.state_dict()
+
+        sd1, sd2 = run(), run()
+        for k in sd1:
+            assert np.array_equal(sd1[k], sd2[k])
+
+    def test_svd_conversion_deterministic(self):
+        set_seed(21)
+        model = resnet18(num_classes=4, width_mult=0.125)
+        from repro.models import resnet18_hybrid_config
+
+        h1, _ = build_hybrid(model, resnet18_hybrid_config(model))
+        h2, _ = build_hybrid(model, resnet18_hybrid_config(model))
+        for (n1, p1), (n2, p2) in zip(h1.named_parameters(), h2.named_parameters()):
+            assert np.array_equal(p1.data, p2.data), n1
+
+
+class TestDropoutDeterminism:
+    def test_dropout_draws_from_global_rng(self):
+        from repro.tensor import dropout
+
+        x = Tensor(np.ones(100))
+        set_seed(5)
+        from repro.utils import get_rng
+
+        a = dropout(x, 0.5, True, get_rng()).data.copy()
+        set_seed(5)
+        b = dropout(x, 0.5, True, get_rng()).data.copy()
+        assert np.array_equal(a, b)

@@ -1,0 +1,237 @@
+"""Edge cases and failure injection across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    FactorizationConfig,
+    LowRankConv2d,
+    LowRankLinear,
+    Trainer,
+    build_hybrid,
+    factorize_matrix,
+)
+from repro.data import DataLoader
+from repro.distributed import ClusterSpec, ring_allreduce_time
+from repro.nn.module import Parameter
+from repro.optim import SGD
+from repro.tensor import Tensor, cross_entropy
+
+
+class TestTensorEdges:
+    def test_zero_dim_scalar_ops(self):
+        t = Tensor(np.array(2.0), requires_grad=True)
+        (t * 3).backward()
+        assert np.allclose(t.grad, 3.0)
+
+    def test_empty_slice_forward(self):
+        t = Tensor(np.arange(5.0))
+        assert t[2:2].size == 0
+
+    def test_single_element_reductions(self):
+        t = Tensor(np.array([7.0]), requires_grad=True)
+        t.mean().backward()
+        assert np.allclose(t.grad, [1.0])
+
+    def test_very_deep_relu_chain_grads_flow(self):
+        # ReLU of positive values: grad must survive 500 layers.
+        t = Tensor(np.ones(4), requires_grad=True)
+        y = t
+        for _ in range(500):
+            y = (y + 0.001).relu()
+        y.sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    def test_concat_single_tensor(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = Tensor.concat([t], axis=0)
+        out.sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    def test_division_by_small_values_finite_grad(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1e-3]), requires_grad=True)
+        (a / b).sum().backward()
+        assert np.all(np.isfinite(a.grad)) and np.all(np.isfinite(b.grad))
+
+
+class TestLayerEdges:
+    def test_batchnorm_batch_of_one_trains(self, rng):
+        # Variance of a single sample per channel position is 0 spatially
+        # only if H*W == 1; with spatial extent it's still defined.
+        bn = nn.BatchNorm2d(3)
+        out = bn(Tensor(rng.standard_normal((1, 3, 4, 4))))
+        assert np.all(np.isfinite(out.data))
+
+    def test_layernorm_dim_one(self):
+        ln = nn.LayerNorm(1)
+        out = ln(Tensor(np.array([[2.0], [3.0]])))
+        assert np.all(np.isfinite(out.data))
+
+    def test_linear_one_in_one_out(self, rng):
+        lin = nn.Linear(1, 1)
+        out = lin(Tensor(rng.standard_normal((4, 1))))
+        assert out.shape == (4, 1)
+
+    def test_conv_kernel_equals_input_size(self, rng):
+        conv = nn.Conv2d(2, 3, 4)  # valid conv collapsing to 1x1
+        out = conv(Tensor(rng.standard_normal((1, 2, 4, 4))))
+        assert out.shape == (1, 3, 1, 1)
+
+    def test_cross_entropy_single_class(self):
+        logits = Tensor(np.zeros((3, 1), dtype=np.float32))
+        loss = cross_entropy(logits, np.zeros(3, dtype=int))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_embedding_max_index(self, rng):
+        emb = nn.Embedding(5, 3)
+        out = emb(np.array([4, 4, 0]))
+        assert out.shape == (3, 3)
+
+    def test_lstm_sequence_length_one(self, rng):
+        lstm = nn.LSTMLayer(3, 4)
+        out, (h, c) = lstm(Tensor(rng.standard_normal((1, 2, 3))))
+        assert out.shape == (1, 2, 4)
+
+    def test_attention_single_token(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, dropout=0.0)
+        x = Tensor(rng.standard_normal((1, 1, 8)))
+        assert mha(x, x, x).shape == (1, 1, 8)
+
+
+class TestLowRankEdges:
+    def test_rank_one_linear(self, rng):
+        lr = LowRankLinear(8, 8, rank=1)
+        out = lr(Tensor(rng.standard_normal((2, 8))))
+        assert out.shape == (2, 8)
+        eff = lr.effective_weight()
+        s = np.linalg.svd(eff, compute_uv=False)
+        assert (s[1:] < 1e-4 * max(s[0], 1)).all()  # truly rank 1
+
+    def test_rank_one_conv(self, rng):
+        lr = LowRankConv2d(4, 4, 3, rank=1, padding=1)
+        out = lr(Tensor(rng.standard_normal((1, 4, 5, 5))))
+        assert out.shape == (1, 4, 5, 5)
+
+    def test_factorize_rank_one_matrix(self):
+        w = np.outer(np.arange(1, 5, dtype=np.float32), np.arange(1, 4, dtype=np.float32))
+        u, vt = factorize_matrix(w, 1)
+        assert np.allclose(u @ vt, w, atol=1e-4)
+
+    def test_factorize_zero_matrix(self):
+        w = np.zeros((4, 3), dtype=np.float32)
+        u, vt = factorize_matrix(w, 2)
+        assert np.allclose(u @ vt, 0)
+
+    def test_build_hybrid_no_factorizable_leaves(self):
+        model = nn.Sequential(nn.ReLU(), nn.Dropout(0.1))
+        hybrid, report = build_hybrid(model, FactorizationConfig())
+        assert report.replaced == [] and report.kept == []
+        assert report.params_after == report.params_before == 0
+
+    def test_build_hybrid_single_linear_skipped_as_last_fc(self):
+        model = nn.Sequential(nn.Linear(4, 2))
+        hybrid, report = build_hybrid(model, FactorizationConfig(skip_last_fc=True))
+        assert report.replaced == []
+
+    def test_build_hybrid_idempotent_on_hybrid(self, rng):
+        # Re-converting a hybrid must be a no-op: LowRank layers are not
+        # factorizable leaves.
+        model = nn.Sequential(nn.Linear(8, 8), nn.ReLU(), nn.Linear(8, 8), nn.ReLU(),
+                              nn.Linear(8, 2))
+        h1, r1 = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        h2, r2 = build_hybrid(h1, FactorizationConfig(rank_ratio=0.25))
+        # Only still-vanilla leaves could be touched; the LowRank ones not.
+        assert r2.params_after <= r1.params_after
+        lowrank_paths_before = {p for p, m in h1.named_modules()
+                                if isinstance(m, LowRankLinear)}
+        lowrank_paths_after = {p for p, m in h2.named_modules()
+                               if isinstance(m, LowRankLinear)}
+        assert lowrank_paths_before <= lowrank_paths_after
+
+
+class TestTrainingFailureInjection:
+    def test_amp_skips_inf_loss_steps_and_recovers(self, rng):
+        """Poison one batch to produce inf gradients: the AMP trainer must
+        skip that step (weights unchanged) and keep training."""
+        from repro.nn import GradScaler
+
+        model = nn.Sequential(nn.Linear(4, 3))
+        scaler = GradScaler(init_scale=2.0)
+        p = model.get_submodule("0").weight
+        before = p.data.copy()
+        p.grad = np.full_like(p.data, np.inf)
+        assert not scaler.unscale_and_check([p])
+        assert np.allclose(p.data, before)
+        # Next finite step proceeds.
+        p.grad = np.ones_like(p.data)
+        assert scaler.unscale_and_check([p])
+
+    def test_trainer_with_empty_loader(self, rng):
+        model = nn.Sequential(nn.Linear(4, 2))
+        loader = DataLoader(np.zeros((0, 4), dtype=np.float32), np.zeros(0, dtype=int), 4)
+        t = Trainer(model, SGD(model.parameters(), lr=0.1))
+        loss, metric = t.evaluate(loader)
+        assert loss == 0.0 and metric == 0.0
+
+    def test_optimizer_handles_mixed_grad_presence(self, rng):
+        a = Parameter(np.ones(2, dtype=np.float32))
+        b = Parameter(np.ones(2, dtype=np.float32))
+        a.grad = np.ones(2, dtype=np.float32)
+        opt = SGD([a, b], lr=0.5, momentum=0.9)
+        opt.step()
+        assert np.allclose(b.data, 1.0)  # untouched
+        assert np.allclose(a.data, 0.5)
+
+    def test_clip_zero_gradients(self):
+        from repro.optim import clip_grad_norm
+
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        p.grad = np.zeros(3, dtype=np.float32)
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestDistributedEdges:
+    def test_two_node_cluster(self):
+        t = ring_allreduce_time(1e6, ClusterSpec(2))
+        assert t > 0
+
+    def test_zero_bytes_only_latency(self):
+        c = ClusterSpec(4)
+        assert ring_allreduce_time(0, c) == pytest.approx(2 * 3 * c.latency_s)
+
+    def test_compressors_on_tiny_gradients(self, rng):
+        from repro.compression import PowerSGD, QSGD, Signum, StochasticBinary, TopK
+
+        g = [np.array([[0.5]], dtype=np.float32)]  # 1x1 matrix
+        for comp in (PowerSGD(1, rank=4), Signum(1, momentum=0.0),
+                     QSGD(1, levels=4), TopK(1, ratio=0.5), StochasticBinary(1)):
+            agg = comp.decode_aggregate([comp.encode(0, [x.copy() for x in g])])
+            assert agg[0].shape == (1, 1)
+            assert np.all(np.isfinite(agg[0]))
+
+
+class TestPruningEdges:
+    def test_lth_prune_everything_but_floor(self, rng):
+        from repro.pruning import global_magnitude_mask, sparsity
+
+        model = nn.Sequential(nn.Linear(8, 8, bias=False))
+        masks = global_magnitude_mask(model, 0.99)
+        assert 0.9 < sparsity(masks) < 1.0
+
+    def test_channel_mask_single_bn(self, rng):
+        from repro.pruning import bn_channel_scores, channel_mask
+
+        model = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4))
+        bn = model.get_submodule("1")
+        bn.weight.data = np.array([0.1, 5.0, 0.2, 4.0], dtype=np.float32)
+        masks = channel_mask(bn_channel_scores(model), 0.5)
+        assert masks["1"].sum() == 2
+
+    def test_early_bird_before_any_update(self):
+        from repro.pruning import EarlyBirdDetector
+
+        det = EarlyBirdDetector(0.3)
+        assert det.mask is None
+        assert det.found_at is None

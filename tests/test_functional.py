@@ -1,0 +1,195 @@
+"""Fused functional primitives: softmax, log-softmax, cross-entropy, NLL,
+embedding, dropout, one-hot."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    check_gradients,
+    cross_entropy,
+    dropout,
+    embedding,
+    log_softmax,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        s = softmax(Tensor(rng.standard_normal((4, 7))))
+        assert np.allclose(s.data.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        assert np.allclose(softmax(Tensor(x)).data, softmax(Tensor(x + 100)).data, atol=1e-5)
+
+    def test_extreme_logits_stable(self):
+        s = softmax(Tensor(np.array([[1000.0, -1000.0]])))
+        assert np.all(np.isfinite(s.data))
+        assert np.allclose(s.data, [[1.0, 0.0]])
+
+    def test_axis_argument(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)))
+        assert np.allclose(softmax(x, axis=1).data.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 5)))
+        check_gradients(lambda: (softmax(x) * w).sum(), [x])
+
+
+class TestLogSoftmax:
+    def test_equals_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data + 1e-12), atol=1e-4)
+
+    def test_extreme_values_stable(self):
+        out = log_softmax(Tensor(np.array([[500.0, -500.0]])))
+        assert np.all(np.isfinite(out.data))
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 4)))
+        check_gradients(lambda: (log_softmax(x) * w).sum(), [x])
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((5, 4)).astype(np.float32)
+        targets = rng.integers(0, 4, 5)
+        loss = cross_entropy(Tensor(logits), targets)
+        logp = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        manual = -logp[np.arange(5), targets].mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-4)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = logits[1, 2] = 50.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-4
+
+    def test_label_smoothing_increases_floor(self, rng):
+        logits = np.full((2, 4), -30.0, dtype=np.float32)
+        logits[:, 0] = 30.0
+        t = np.zeros(2, dtype=int)
+        plain = cross_entropy(Tensor(logits), t).item()
+        smoothed = cross_entropy(Tensor(logits), t, label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_ignore_index_excludes_rows(self, rng):
+        logits = rng.standard_normal((4, 3)).astype(np.float32)
+        t_all = np.array([0, 1, 2, 1])
+        t_masked = np.array([0, 1, -1, -1])
+        loss_masked = cross_entropy(Tensor(logits), t_masked, ignore_index=-1)
+        loss_first_two = cross_entropy(Tensor(logits[:2]), t_all[:2])
+        assert loss_masked.item() == pytest.approx(loss_first_two.item(), rel=1e-4)
+
+    def test_gradcheck_plain(self, rng):
+        logits = Tensor(rng.standard_normal((6, 5)), requires_grad=True)
+        t = rng.integers(0, 5, 6)
+        check_gradients(lambda: cross_entropy(logits, t), [logits])
+
+    def test_gradcheck_smoothed(self, rng):
+        logits = Tensor(rng.standard_normal((6, 5)), requires_grad=True)
+        t = rng.integers(0, 5, 6)
+        check_gradients(lambda: cross_entropy(logits, t, label_smoothing=0.2), [logits])
+
+    def test_gradcheck_ignore_index(self, rng):
+        logits = Tensor(rng.standard_normal((6, 5)), requires_grad=True)
+        t = np.array([0, 1, -1, 3, -1, 2])
+        check_gradients(lambda: cross_entropy(logits, t, ignore_index=-1), [logits])
+
+    def test_grad_is_p_minus_y(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        t = np.array([1, 0, 2])
+        cross_entropy(logits, t).backward()
+        p = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        p /= p.sum(axis=1, keepdims=True)
+        expected = p.copy()
+        expected[np.arange(3), t] -= 1
+        assert np.allclose(logits.grad, expected / 3, atol=1e-5)
+
+
+class TestNLL:
+    def test_matches_cross_entropy(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)))
+        t = rng.integers(0, 3, 4)
+        ce = cross_entropy(logits, t).item()
+        nll = nll_loss(log_softmax(logits), t).item()
+        assert ce == pytest.approx(nll, rel=1e-4)
+
+    def test_ignore_index(self, rng):
+        lp = Tensor(np.log(np.full((3, 2), 0.5, dtype=np.float32)))
+        t = np.array([0, 1, -1])
+        loss = nll_loss(lp, t, ignore_index=-1)
+        assert loss.item() == pytest.approx(np.log(2), rel=1e-4)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        t = rng.integers(0, 3, 4)
+        check_gradients(lambda: nll_loss(log_softmax(x), t), [x])
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        w = Tensor(rng.standard_normal((10, 4)))
+        idx = np.array([1, 3, 1])
+        out = embedding(w, idx)
+        assert np.allclose(out.data, w.data[idx])
+
+    def test_2d_indices(self, rng):
+        w = Tensor(rng.standard_normal((10, 4)))
+        idx = rng.integers(0, 10, (3, 5))
+        assert embedding(w, idx).shape == (3, 5, 4)
+
+    def test_grad_scatter_adds_duplicates(self, rng):
+        w = Tensor(rng.standard_normal((5, 2)), requires_grad=True)
+        embedding(w, np.array([0, 0, 3])).sum().backward()
+        assert np.allclose(w.grad[0], [2, 2])
+        assert np.allclose(w.grad[3], [1, 1])
+        assert np.allclose(w.grad[1], [0, 0])
+
+    def test_gradcheck(self, rng):
+        w = Tensor(rng.standard_normal((6, 3)), requires_grad=True)
+        idx = np.array([[0, 2], [5, 2]])
+        check_gradients(lambda: (embedding(w, idx) ** 2).sum(), [w])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        out = dropout(x, 0.5, training=False, rng=rng)
+        assert out is x
+
+    def test_zero_p_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert dropout(x, 0.0, training=True, rng=rng) is x
+
+    def test_scaling_preserves_expectation(self, rng):
+        x = Tensor(np.ones((100, 100)))
+        out = dropout(x, 0.5, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_zeros_fraction(self, rng):
+        x = Tensor(np.ones(10000))
+        out = dropout(x, 0.3, training=True, rng=rng)
+        assert (out.data == 0).mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_grad_masked_like_forward(self, rng):
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        assert np.allclose((x.grad == 0), (out.data == 0))
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_nd_shape(self):
+        out = one_hot(np.zeros((2, 3), dtype=int), 4)
+        assert out.shape == (2, 3, 4)

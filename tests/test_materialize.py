@@ -1,0 +1,176 @@
+"""Materialization (hybrid -> vanilla) and the cosine LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    FactorizationConfig,
+    LowRankConv2d,
+    LowRankLinear,
+    LowRankLSTMLayer,
+    TuckerConv2d,
+    build_hybrid,
+    materialize_hybrid,
+    materialize_layer,
+    tucker_conv_from,
+)
+from repro.optim import SGD, CosineAnnealingLR
+from repro.tensor import Tensor
+
+
+class TestMaterializeLayer:
+    def test_linear_outputs_identical(self, rng):
+        lr = LowRankLinear(10, 6, rank=3)
+        vanilla = materialize_layer(lr)
+        x = Tensor(rng.standard_normal((4, 10)))
+        assert np.allclose(lr(x).data, vanilla(x).data, atol=1e-5)
+        assert isinstance(vanilla, nn.Linear)
+
+    def test_conv_outputs_identical(self, rng):
+        lr = LowRankConv2d(4, 8, 3, rank=2, stride=2, padding=1)
+        vanilla = materialize_layer(lr)
+        x = Tensor(rng.standard_normal((2, 4, 8, 8)))
+        assert np.allclose(lr(x).data, vanilla(x).data, atol=1e-4)
+        assert vanilla.stride == 2 and vanilla.padding == 1
+
+    def test_tucker_conv_outputs_identical(self, rng):
+        base = nn.Conv2d(4, 6, 3, padding=1)
+        tucker = tucker_conv_from(base, rank_in=2, rank_out=3)
+        vanilla = materialize_layer(tucker)
+        x = Tensor(rng.standard_normal((1, 4, 6, 6)))
+        assert np.allclose(tucker(x).data, vanilla(x).data, atol=1e-4)
+
+    def test_lstm_outputs_identical(self, rng):
+        lr = LowRankLSTMLayer(5, 5, rank=3)
+        vanilla = materialize_layer(lr)
+        x = Tensor(rng.standard_normal((4, 2, 5)))
+        o1, (h1, c1) = lr(x)
+        o2, (h2, c2) = vanilla(x)
+        assert np.allclose(o1.data, o2.data, atol=1e-4)
+        assert np.allclose(c1.data, c2.data, atol=1e-4)
+
+    def test_bias_preserved(self):
+        lr = LowRankLinear(4, 3, rank=2, bias=True)
+        vanilla = materialize_layer(lr)
+        assert np.allclose(vanilla.bias.data, lr.bias.data)
+
+    def test_no_bias_preserved(self):
+        lr = LowRankConv2d(4, 4, 3, rank=2, bias=False)
+        vanilla = materialize_layer(lr)
+        assert vanilla.bias is None
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            materialize_layer(nn.ReLU())
+
+
+class TestMaterializeHybrid:
+    def _model(self):
+        return nn.Sequential(
+            nn.Conv2d(3, 8, 3, padding=1), nn.BatchNorm2d(8), nn.ReLU(),
+            nn.Conv2d(8, 8, 3, padding=1), nn.ReLU(), nn.GlobalAvgPool2d(),
+            nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 4),
+        )
+
+    def test_roundtrip_outputs_identical(self, rng):
+        model = self._model()
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=0.5))
+        vanilla = materialize_hybrid(hybrid)
+        hybrid.eval()
+        vanilla.eval()
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)))
+        assert np.allclose(hybrid(x).data, vanilla(x).data, atol=1e-4)
+
+    def test_no_lowrank_layers_remain(self):
+        model = self._model()
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        vanilla = materialize_hybrid(hybrid)
+        for mod in vanilla.modules():
+            assert not isinstance(
+                mod, (LowRankLinear, LowRankConv2d, LowRankLSTMLayer, TuckerConv2d)
+            )
+
+    def test_param_count_returns_to_vanilla(self):
+        model = self._model()
+        hybrid, report = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        vanilla = materialize_hybrid(hybrid)
+        assert vanilla.num_parameters() == report.params_before
+
+    def test_materialized_loadable_into_original_architecture(self, rng):
+        model = self._model()
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        vanilla = materialize_hybrid(hybrid)
+        fresh = self._model()
+        fresh.load_state_dict(vanilla.state_dict())
+        fresh.eval()
+        vanilla.eval()
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)))
+        assert np.allclose(fresh(x).data, vanilla(x).data, atol=1e-6)
+
+    def test_hybrid_untouched(self, rng):
+        model = self._model()
+        hybrid, _ = build_hybrid(model, FactorizationConfig(rank_ratio=0.25))
+        before = hybrid.state_dict()
+        materialize_hybrid(hybrid)
+        after = hybrid.state_dict()
+        for k in before:
+            assert np.array_equal(before[k], after[k])
+
+    def test_lstm_lm_materialization(self, rng):
+        from repro.models import LSTMLanguageModel, lstm_lm_hybrid_config
+
+        lm = LSTMLanguageModel(vocab_size=30, embed_dim=12, num_layers=2, dropout=0.0)
+        hybrid, _ = build_hybrid(lm, lstm_lm_hybrid_config())
+        vanilla = materialize_hybrid(hybrid)
+        hybrid.eval()
+        vanilla.eval()
+        toks = rng.integers(0, 30, (4, 2))
+        o1, _ = hybrid(toks)
+        o2, _ = vanilla(toks)
+        assert np.allclose(o1.data, o2.data, atol=1e-3)
+
+
+class TestCosineSchedule:
+    def _opt(self, lr=1.0):
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        return SGD([p], lr=lr)
+
+    def test_starts_at_base(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10)
+        sched.step(0)
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_half_way_is_half(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10)
+        sched.step(5)
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_ends_at_min(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, min_lr=0.01)
+        sched.step(10)
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_monotone_decreasing(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = []
+        for e in range(21):
+            sched.step(e)
+            lrs.append(opt.lr)
+        assert lrs == sorted(lrs, reverse=True)
+
+    def test_clamped_beyond_t_max(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=5)
+        sched.step(100)
+        assert opt.lr == pytest.approx(0.0)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._opt(), t_max=0)

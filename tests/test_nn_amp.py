@@ -1,0 +1,80 @@
+"""Mixed-precision emulation: GradScaler dynamics and fp16 round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import GradScaler, autocast_round_trip, cast_gradients_fp16
+from repro.nn.module import Parameter
+
+
+def param_with_grad(grad):
+    p = Parameter(np.zeros_like(np.asarray(grad, dtype=np.float32)))
+    p.grad = np.asarray(grad, dtype=np.float32)
+    return p
+
+
+class TestGradScaler:
+    def test_scale_loss_multiplies(self):
+        from repro.tensor import Tensor
+
+        scaler = GradScaler(init_scale=4.0)
+        loss = Tensor(np.array(2.0))
+        assert scaler.scale_loss(loss).item() == pytest.approx(8.0)
+
+    def test_unscale_divides_grads(self):
+        scaler = GradScaler(init_scale=8.0)
+        p = param_with_grad([8.0, 16.0])
+        assert scaler.unscale_and_check([p])
+        assert np.allclose(p.grad, [1.0, 2.0])
+
+    def test_inf_grad_skips_and_backs_off(self):
+        scaler = GradScaler(init_scale=8.0, backoff_factor=0.5)
+        p = param_with_grad([np.inf])
+        assert not scaler.unscale_and_check([p])
+        assert scaler.scale == 4.0
+        assert p.grad is None  # grads cleared on skip
+
+    def test_nan_grad_skips(self):
+        scaler = GradScaler(init_scale=8.0)
+        p = param_with_grad([np.nan])
+        assert not scaler.unscale_and_check([p])
+
+    def test_growth_after_interval(self):
+        scaler = GradScaler(init_scale=2.0, growth_factor=2.0, growth_interval=3)
+        for _ in range(3):
+            p = param_with_grad([1.0])
+            scaler.unscale_and_check([p])
+        assert scaler.scale == 4.0
+
+    def test_no_growth_before_interval(self):
+        scaler = GradScaler(init_scale=2.0, growth_interval=100)
+        p = param_with_grad([1.0])
+        scaler.unscale_and_check([p])
+        assert scaler.scale == 2.0
+
+
+class TestFp16RoundTrips:
+    def test_autocast_quantizes_parameters(self):
+        lin = nn.Linear(4, 4)
+        lin.weight.data[:] = 0.1  # 0.1 is not fp16-exact
+        autocast_round_trip(lin)
+        assert lin.weight.data.dtype == np.float32
+        assert not np.allclose(lin.weight.data, 0.1, atol=0)
+        assert np.allclose(lin.weight.data, 0.1, atol=1e-4)
+
+    def test_cast_gradients_quantizes(self):
+        p = param_with_grad([0.1, 0.2])
+        cast_gradients_fp16([p])
+        assert p.grad.dtype == np.float32
+        assert np.allclose(p.grad, [0.1, 0.2], atol=1e-4)
+
+    def test_cast_handles_none_grads(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        cast_gradients_fp16([p])  # must not raise
+        assert p.grad is None
+
+    def test_large_values_saturate_like_fp16(self):
+        p = param_with_grad([1e6])
+        cast_gradients_fp16([p])
+        assert np.isinf(p.grad[0])  # fp16 max is 65504

@@ -1,0 +1,120 @@
+"""Multi-head attention and Transformer block tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.transformer import causal_mask, padding_mask
+from repro.tensor import Tensor
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        mha = nn.MultiHeadAttention(16, 4, dropout=0.0)
+        x = Tensor(rng.standard_normal((2, 5, 16)))
+        assert mha(x, x, x).shape == (2, 5, 16)
+
+    def test_d_model_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_param_count(self):
+        d = 16
+        mha = nn.MultiHeadAttention(d, 4)
+        # 4 square projections + biases
+        assert mha.num_parameters() == 4 * (d * d + d)
+
+    def test_causal_mask_blocks_future(self, rng):
+        # With a causal mask, output at position t must not change when
+        # future inputs change.
+        mha = nn.MultiHeadAttention(8, 2, dropout=0.0)
+        mha.eval()
+        x1 = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        x2 = x1.copy()
+        x2[0, 3] += 10.0  # perturb the last position
+        mask = causal_mask(4)
+        out1 = mha(Tensor(x1), Tensor(x1), Tensor(x1), mask).data
+        out2 = mha(Tensor(x2), Tensor(x2), Tensor(x2), mask).data
+        assert np.allclose(out1[0, :3], out2[0, :3], atol=1e-4)
+        assert not np.allclose(out1[0, 3], out2[0, 3], atol=1e-3)
+
+    def test_padding_mask_blocks_keys(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, dropout=0.0)
+        mha.eval()
+        tokens = np.array([[5, 6, 0, 0]])  # pad = 0
+        mask = padding_mask(tokens, 0)
+        x1 = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        x2 = x1.copy()
+        x2[0, 2:] += 100.0  # change only padded positions
+        out1 = mha(Tensor(x1), Tensor(x1), Tensor(x1), mask).data
+        out2 = mha(Tensor(x1), Tensor(x2), Tensor(x2), mask).data
+        assert np.allclose(out1, out2, atol=1e-3)
+
+    def test_gradients_flow(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, dropout=0.0)
+        x = Tensor(rng.standard_normal((2, 3, 8)))
+        mha(x, x, x).sum().backward()
+        assert all(p.grad is not None for p in mha.parameters())
+
+
+class TestPositionalEncoding:
+    def test_deterministic_and_bounded(self, rng):
+        pe = nn.PositionalEncoding(16, max_len=50, dropout=0.0)
+        assert np.all(np.abs(pe.pe) <= 1.0)
+
+    def test_added_to_input(self, rng):
+        pe = nn.PositionalEncoding(16, max_len=50, dropout=0.0)
+        pe.eval()
+        x = Tensor(np.zeros((1, 10, 16), dtype=np.float32))
+        out = pe(x)
+        assert np.allclose(out.data[0], pe.pe[:10], atol=1e-6)
+
+    def test_no_trainable_weights(self):
+        pe = nn.PositionalEncoding(16)
+        assert pe.num_parameters() == 0
+
+
+class TestEncoderDecoderLayers:
+    def test_encoder_shape_preserved(self, rng):
+        enc = nn.TransformerEncoderLayer(16, 4, 32, dropout=0.0)
+        x = Tensor(rng.standard_normal((2, 6, 16)))
+        assert enc(x).shape == (2, 6, 16)
+
+    def test_decoder_shape_preserved(self, rng):
+        dec = nn.TransformerDecoderLayer(16, 4, 32, dropout=0.0)
+        x = Tensor(rng.standard_normal((2, 5, 16)))
+        mem = Tensor(rng.standard_normal((2, 7, 16)))
+        assert dec(x, mem, causal_mask(5)).shape == (2, 5, 16)
+
+    def test_encoder_backward_full_coverage(self, rng):
+        enc = nn.TransformerEncoderLayer(8, 2, 16, dropout=0.0)
+        x = Tensor(rng.standard_normal((1, 4, 8)))
+        enc(x).sum().backward()
+        assert all(p.grad is not None for p in enc.parameters())
+
+    def test_decoder_backward_full_coverage(self, rng):
+        dec = nn.TransformerDecoderLayer(8, 2, 16, dropout=0.0)
+        x = Tensor(rng.standard_normal((1, 3, 8)))
+        mem = Tensor(rng.standard_normal((1, 4, 8)))
+        dec(x, mem).sum().backward()
+        assert all(p.grad is not None for p in dec.parameters())
+
+    def test_ffn_expansion(self, rng):
+        ffn = nn.PositionwiseFFN(8, 32, dropout=0.0)
+        assert ffn.layer1.out_features == 32
+        x = Tensor(rng.standard_normal((2, 3, 8)))
+        assert ffn(x).shape == (2, 3, 8)
+
+
+class TestMasks:
+    def test_causal_mask_structure(self):
+        m = causal_mask(4)
+        assert m.shape == (4, 4)
+        assert np.all(m[np.triu_indices(4, k=1)] < -1e8)
+        assert np.all(m[np.tril_indices(4)] == 0)
+
+    def test_padding_mask_structure(self):
+        tokens = np.array([[3, 4, 0], [5, 0, 0]])
+        m = padding_mask(tokens, 0)
+        assert m.shape == (2, 1, 1, 3)
+        assert m[0, 0, 0, 2] < -1e8 and m[0, 0, 0, 0] == 0

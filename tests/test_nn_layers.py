@@ -1,0 +1,222 @@
+"""Layer-level tests: Linear, Conv2d, norms, activations, pooling, dropout,
+containers, embedding."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        lin = nn.Linear(8, 3)
+        assert lin(Tensor(rng.standard_normal((5, 8)))).shape == (5, 3)
+
+    def test_matches_manual_affine(self, rng):
+        lin = nn.Linear(4, 2)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        out = lin(Tensor(x))
+        assert np.allclose(out.data, x @ lin.weight.data.T + lin.bias.data, atol=1e-5)
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(4, 2, bias=False)
+        assert lin.bias is None
+        assert lin.num_parameters() == 8
+
+    def test_3d_input_batched(self, rng):
+        lin = nn.Linear(4, 2)
+        out = lin(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 2)
+
+    def test_gradcheck(self, rng):
+        lin = nn.Linear(4, 3)
+        x = Tensor(rng.standard_normal((5, 4)))
+        check_gradients(lambda: (lin(x) ** 2).sum(), [lin.weight, lin.bias])
+
+
+class TestConv2dLayer:
+    def test_shapes_with_stride_padding(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_param_count(self):
+        conv = nn.Conv2d(3, 8, 5, bias=True)
+        assert conv.num_parameters() == 3 * 8 * 25 + 8
+
+    def test_gradcheck(self, rng):
+        conv = nn.Conv2d(2, 3, 3, padding=1)
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)))
+        check_gradients(
+            lambda: (conv(x) ** 2).sum(), [conv.weight, conv.bias], rtol=2e-2, atol=3e-3,
+            max_bad_frac=0.03,
+        )
+
+
+class TestBatchNorm2d:
+    def test_train_normalizes_batch(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)) * 3 + 2)
+        out = bn(x)
+        assert abs(out.data.mean()) < 1e-4
+        assert out.data.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_running_stats_update(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.full((4, 2, 3, 3), 10.0, dtype=np.float32))
+        bn(x)
+        assert np.allclose(bn.running_mean, 5.0, atol=1e-4)  # 0.5*0 + 0.5*10
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(3)
+        for _ in range(20):
+            bn(Tensor(rng.standard_normal((16, 3, 4, 4)) * 2 + 1))
+        bn.eval()
+        x = Tensor(rng.standard_normal((4, 3, 4, 4)) * 2 + 1)
+        out = bn(x)
+        manual = (x.data - bn.running_mean[None, :, None, None]) / np.sqrt(
+            bn.running_var[None, :, None, None] + bn.eps
+        )
+        assert np.allclose(out.data, manual, atol=1e-4)
+
+    def test_eval_deterministic(self, rng):
+        bn = nn.BatchNorm2d(3).eval()
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)))
+        assert np.allclose(bn(x).data, bn(x).data)
+
+    def test_affine_params_applied(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data[:] = 2.0
+        bn.bias.data[:] = 1.0
+        out = bn(Tensor(rng.standard_normal((8, 2, 3, 3))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_gradcheck_train_mode(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((4, 3, 3, 3)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)))
+        check_gradients(
+            lambda: ((bn(x) * w).tanh()).sum(), [x, bn.weight, bn.bias],
+            rtol=2e-2, atol=3e-3, max_bad_frac=0.03,
+        )
+
+    def test_gradcheck_eval_mode(self, rng):
+        bn = nn.BatchNorm2d(3)
+        bn(Tensor(rng.standard_normal((8, 3, 3, 3))))  # populate stats
+        bn.eval()
+        x = Tensor(rng.standard_normal((2, 3, 3, 3)), requires_grad=True)
+        check_gradients(lambda: (bn(x) ** 2).sum(), [x, bn.weight, bn.bias],
+                        max_bad_frac=0.05)
+
+
+class TestBatchNorm1d:
+    def test_shapes(self, rng):
+        bn = nn.BatchNorm1d(5)
+        assert bn(Tensor(rng.standard_normal((8, 5)))).shape == (8, 5)
+
+    def test_normalizes(self, rng):
+        bn = nn.BatchNorm1d(5)
+        out = bn(Tensor(rng.standard_normal((64, 5)) * 4 + 3))
+        assert abs(out.data.mean()) < 1e-4
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        ln = nn.LayerNorm(16)
+        out = ln(Tensor(rng.standard_normal((3, 5, 16)) * 3 + 1))
+        assert np.allclose(out.data.mean(axis=-1), 0, atol=1e-4)
+        assert np.allclose(out.data.std(axis=-1), 1, atol=0.05)
+
+    def test_independent_of_batch(self, rng):
+        # LayerNorm output for one row must not depend on other rows.
+        ln = nn.LayerNorm(8)
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        full = ln(Tensor(x)).data
+        solo = ln(Tensor(x[:1])).data
+        assert np.allclose(full[:1], solo, atol=1e-5)
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(6)
+        x = Tensor(rng.standard_normal((4, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 6)))
+        check_gradients(lambda: ((ln(x) * w).tanh()).sum(), [x, ln.weight, ln.bias],
+                        rtol=2e-2, atol=3e-3)
+
+
+class TestActivations:
+    def test_relu_module(self, rng):
+        assert np.all(nn.ReLU()(Tensor(rng.standard_normal(10))).data >= 0)
+
+    def test_tanh_sigmoid_modules(self, rng):
+        x = Tensor(rng.standard_normal(10))
+        assert np.allclose(nn.Tanh()(x).data, np.tanh(x.data), atol=1e-6)
+        assert np.all((nn.Sigmoid()(x).data > 0) & (nn.Sigmoid()(x).data < 1))
+
+    def test_gelu_close_to_reference(self, rng):
+        from scipy.stats import norm
+
+        x = np.linspace(-3, 3, 50).astype(np.float32)
+        out = nn.GELU()(Tensor(x)).data
+        ref = x * norm.cdf(x)
+        assert np.allclose(out, ref, atol=0.01)
+
+
+class TestContainers:
+    def test_sequential_chains(self, rng):
+        net = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert net(Tensor(rng.standard_normal((3, 4)))).shape == (3, 2)
+
+    def test_sequential_indexing_len_iter(self):
+        net = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert len(net) == 2
+        assert isinstance(net[1], nn.Tanh)
+        assert len(list(net)) == 2
+
+    def test_sequential_append(self, rng):
+        net = nn.Sequential(nn.Linear(4, 4))
+        net.append(nn.Linear(4, 2))
+        assert net(Tensor(rng.standard_normal((1, 4)))).shape == (1, 2)
+
+    def test_module_list_registers_params(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(ml)) == 2
+        assert sum(1 for _ in ml[0].parameters()) == 2
+
+    def test_module_list_has_no_forward(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList([nn.ReLU()])(None)
+
+
+class TestDropoutModule:
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_eval_identity(self, rng):
+        d = nn.Dropout(0.9).eval()
+        x = Tensor(rng.standard_normal(100))
+        assert np.allclose(d(x).data, x.data)
+
+
+class TestEmbeddingModule:
+    def test_lookup_shape(self, rng):
+        emb = nn.Embedding(50, 8)
+        out = emb(rng.integers(0, 50, (4, 6)))
+        assert out.shape == (4, 6, 8)
+
+    def test_padding_idx_zero_init(self):
+        emb = nn.Embedding(10, 4, padding_idx=0)
+        assert np.allclose(emb.weight.data[0], 0)
+
+
+class TestFlattenPooling:
+    def test_flatten(self, rng):
+        f = nn.Flatten()
+        assert f(Tensor(rng.standard_normal((2, 3, 4, 4)))).shape == (2, 48)
+
+    def test_pool_modules(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert nn.AvgPool2d(4)(x).shape == (1, 2, 2, 2)
+        assert nn.GlobalAvgPool2d()(x).shape == (1, 2)

@@ -1,0 +1,118 @@
+"""LSTM layer and stacked-LSTM tests: shapes, state handling, gates,
+gradients, and equivalence with a step-by-step manual recurrence."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+
+
+def manual_lstm_forward(layer, x):
+    """Reference NumPy recurrence for a single LSTM layer."""
+    t_len, b, d = x.shape
+    h = np.zeros((b, layer.hidden_size), dtype=np.float32)
+    c = np.zeros((b, layer.hidden_size), dtype=np.float32)
+    hsz = layer.hidden_size
+    outs = []
+    sig = lambda z: 1.0 / (1.0 + np.exp(-z))
+    for t in range(t_len):
+        gates = (
+            x[t] @ layer.weight_ih.data.T
+            + layer.bias_ih.data
+            + h @ layer.weight_hh.data.T
+            + layer.bias_hh.data
+        )
+        i = sig(gates[:, :hsz])
+        f = sig(gates[:, hsz : 2 * hsz])
+        g = np.tanh(gates[:, 2 * hsz : 3 * hsz])
+        o = sig(gates[:, 3 * hsz :])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        outs.append(h.copy())
+    return np.stack(outs), h, c
+
+
+class TestLSTMLayer:
+    def test_output_shapes(self, rng):
+        layer = nn.LSTMLayer(6, 10)
+        out, (h, c) = layer(Tensor(rng.standard_normal((5, 3, 6))))
+        assert out.shape == (5, 3, 10)
+        assert h.shape == (3, 10) and c.shape == (3, 10)
+
+    def test_matches_manual_recurrence(self, rng):
+        layer = nn.LSTMLayer(4, 5)
+        x = rng.standard_normal((6, 2, 4)).astype(np.float32)
+        out, (h, c) = layer(Tensor(x))
+        ref_out, ref_h, ref_c = manual_lstm_forward(layer, x)
+        assert np.allclose(out.data, ref_out, atol=1e-4)
+        assert np.allclose(h.data, ref_h, atol=1e-4)
+        assert np.allclose(c.data, ref_c, atol=1e-4)
+
+    def test_last_output_equals_final_state(self, rng):
+        layer = nn.LSTMLayer(4, 5)
+        out, (h, _) = layer(Tensor(rng.standard_normal((3, 2, 4))))
+        assert np.allclose(out.data[-1], h.data, atol=1e-6)
+
+    def test_state_carry_equivalence(self, rng):
+        # Processing [a; b] at once == processing a then b with carried state.
+        layer = nn.LSTMLayer(3, 4)
+        x = rng.standard_normal((6, 2, 3)).astype(np.float32)
+        full, _ = layer(Tensor(x))
+        first, state = layer(Tensor(x[:3]))
+        second, _ = layer(Tensor(x[3:]), state)
+        assert np.allclose(full.data[:3], first.data, atol=1e-5)
+        assert np.allclose(full.data[3:], second.data, atol=1e-5)
+
+    def test_param_count_matches_table1(self):
+        d, h = 7, 9
+        layer = nn.LSTMLayer(d, h)
+        assert layer.num_parameters() == 4 * (d * h + h * h) + 8 * h  # + biases
+
+    def test_gradcheck(self, rng):
+        layer = nn.LSTMLayer(3, 4)
+        x = Tensor(rng.standard_normal((3, 2, 3)))
+        check_gradients(
+            lambda: (layer(x)[0] ** 2).sum(),
+            [layer.weight_ih, layer.weight_hh, layer.bias_ih, layer.bias_hh],
+            rtol=2e-2,
+            atol=2e-3,
+        )
+
+    def test_input_gradient_flows(self, rng):
+        layer = nn.LSTMLayer(3, 4)
+        x = Tensor(rng.standard_normal((3, 2, 3)), requires_grad=True)
+        out, _ = layer(x)
+        out.sum().backward()
+        assert x.grad is not None and np.abs(x.grad).max() > 0
+
+
+class TestStackedLSTM:
+    def test_shapes_two_layers(self, rng):
+        lstm = nn.LSTM(6, 8, num_layers=2)
+        out, states = lstm(Tensor(rng.standard_normal((4, 3, 6))))
+        assert out.shape == (4, 3, 8)
+        assert len(states) == 2
+
+    def test_dropout_only_between_layers(self, rng):
+        lstm = nn.LSTM(6, 8, num_layers=2, dropout=0.5)
+        lstm.eval()
+        x = Tensor(rng.standard_normal((4, 3, 6)))
+        out1, _ = lstm(x)
+        out2, _ = lstm(x)
+        assert np.allclose(out1.data, out2.data)  # eval: deterministic
+
+    def test_all_params_receive_grads(self, rng):
+        lstm = nn.LSTM(5, 6, num_layers=2)
+        out, _ = lstm(Tensor(rng.standard_normal((3, 2, 5))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in lstm.parameters())
+
+    def test_states_usable_for_bptt_chunks(self, rng):
+        lstm = nn.LSTM(4, 5, num_layers=2)
+        x = rng.standard_normal((4, 2, 4)).astype(np.float32)
+        _, states = lstm(Tensor(x))
+        detached = [(h.detach(), c.detach()) for h, c in states]
+        out, _ = lstm(Tensor(x), detached)
+        out.sum().backward()  # must not traverse into previous chunk
+        assert all(p.grad is not None for p in lstm.parameters())

@@ -1,0 +1,195 @@
+"""Optimizers and LR schedules against closed-form single-step updates."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    LinearWarmup,
+    MultiStepLR,
+    Optimizer,
+    ReduceLROnPlateau,
+    StepDecayAt,
+    clip_grad_norm,
+)
+
+
+def param_with_grad(value, grad):
+    p = Parameter(np.array(value, dtype=np.float32))
+    p.grad = np.array(grad, dtype=np.float32)
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = param_with_grad([1.0], [0.5])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()  # buf = 1 -> p = -1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # buf = 1.9 -> p = -2.9
+        assert np.allclose(p.data, [-2.9], atol=1e-6)
+
+    def test_weight_decay_applied(self):
+        p = param_with_grad([1.0], [0.0])
+        SGD([p], lr=0.1, weight_decay=0.1).step()
+        assert np.allclose(p.data, [1.0 - 0.1 * 0.1])
+
+    def test_no_decay_flag_respected(self):
+        p = param_with_grad([1.0], [0.0])
+        p.no_decay = True
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        p1 = param_with_grad([0.0], [1.0])
+        p2 = param_with_grad([0.0], [1.0])
+        SGD([p1], lr=1.0, momentum=0.9).step()
+        SGD([p2], lr=1.0, momentum=0.9, nesterov=True).step()
+        assert not np.allclose(p1.data, p2.data)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rebind_drops_state(self):
+        p = param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()
+        q = param_with_grad([0.0], [1.0])
+        opt.rebind([q])
+        assert opt.params == [q] and opt.state == {}
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, |Δ| of step 1 ≈ lr regardless of grad scale.
+        p = param_with_grad([0.0], [1e-3])
+        Adam([p], lr=0.01).step()
+        assert np.abs(p.data[0]) == pytest.approx(0.01, rel=1e-2)
+
+    def test_matches_reference_two_steps(self):
+        p = param_with_grad([1.0], [0.1])
+        opt = Adam([p], lr=0.1, betas=(0.9, 0.999), eps=1e-8)
+        # Reference computation.
+        m = v = 0.0
+        theta = 1.0
+        for t in (1, 2):
+            g = 0.1
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            mh, vh = m / (1 - 0.9**t), v / (1 - 0.999**t)
+            theta -= 0.1 * mh / (np.sqrt(vh) + 1e-8)
+        opt.step()
+        p.grad = np.array([0.1], dtype=np.float32)
+        opt.step()
+        assert np.allclose(p.data, [theta], atol=1e-5)
+
+    def test_weight_decay(self):
+        p = param_with_grad([1.0], [0.0])
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert p.data[0] < 1.0
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_bound(self):
+        p = param_with_grad([0.0, 0.0], [0.3, 0.4])  # norm 0.5
+        norm = clip_grad_norm([p], 1.0)
+        assert norm == pytest.approx(0.5, rel=1e-5)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_to_bound(self):
+        p = param_with_grad([0.0, 0.0], [3.0, 4.0])  # norm 5
+        clip_grad_norm([p], 1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-3)
+
+    def test_global_norm_across_params(self):
+        a = param_with_grad([0.0], [3.0])
+        b = param_with_grad([0.0], [4.0])
+        norm = clip_grad_norm([a, b], 10.0)
+        assert norm == pytest.approx(5.0, rel=1e-5)
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([param_with_grad([0.0], [0.0])], lr=0.1)
+
+    def test_multistep(self):
+        opt = self._opt()
+        sched = MultiStepLR(opt, milestones=[10, 20], gamma=0.1)
+        sched.step(5)
+        assert opt.lr == pytest.approx(0.1)
+        sched.step(10)
+        assert opt.lr == pytest.approx(0.01)
+        sched.step(25)
+        assert opt.lr == pytest.approx(0.001)
+
+    def test_linear_warmup_then_inner(self):
+        opt = self._opt()
+        inner = MultiStepLR(opt, milestones=[10], gamma=0.1)
+        sched = LinearWarmup(opt, start_lr=0.1, peak_lr=1.6, warmup_epochs=5, after=inner)
+        sched.step(0)
+        assert opt.lr == pytest.approx(0.1 + (1.6 - 0.1) / 5)
+        sched.step(4)
+        assert opt.lr == pytest.approx(1.6)
+        sched.step(12)
+        assert opt.lr == pytest.approx(0.16)
+
+    def test_plateau_decays_on_stall(self):
+        opt = self._opt()
+        sched = ReduceLROnPlateau(opt, factor=0.25, patience=0)
+        sched.step(0, metric=1.0)
+        assert opt.lr == pytest.approx(0.1)
+        sched.step(1, metric=1.0)  # no improvement
+        assert opt.lr == pytest.approx(0.025)
+
+    def test_plateau_resets_on_improvement(self):
+        opt = self._opt()
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=0)
+        sched.step(0, metric=1.0)
+        sched.step(1, metric=0.5)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_step_decay_at_fires_once(self):
+        opt = self._opt()
+        sched = StepDecayAt(opt, {3: 0.5})
+        sched.step(2)
+        assert opt.lr == pytest.approx(0.1)
+        sched.step(3)
+        sched.step(4)
+        assert opt.lr == pytest.approx(0.05)
+
+
+class TestOptimizerTraining:
+    def test_sgd_minimizes_quadratic(self):
+        from repro.tensor import Tensor
+
+        w = Parameter(np.array([5.0], dtype=np.float32))
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = (w * w).sum()
+            loss.backward()
+            opt.step()
+        assert abs(w.data[0]) < 1e-3
+
+    def test_adam_minimizes_quadratic(self):
+        w = Parameter(np.array([5.0], dtype=np.float32))
+        opt = Adam([w], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            ((w - 2.0) ** 2).sum().backward()
+            opt.step()
+        assert abs(w.data[0] - 2.0) < 1e-2

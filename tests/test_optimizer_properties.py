@@ -1,0 +1,102 @@
+"""Property-based optimizer invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, clip_grad_norm
+
+GRADS = hnp.arrays(
+    np.float32, st.integers(1, 16),
+    elements=st.floats(-10, 10, allow_nan=False, width=32),
+)
+
+
+def param(values, grad):
+    p = Parameter(np.asarray(values, dtype=np.float32))
+    p.grad = np.asarray(grad, dtype=np.float32)
+    return p
+
+
+class TestSGDProperties:
+    @given(GRADS, st.floats(0.001, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_step_is_linear_in_lr(self, g, lr):
+        p1 = param(np.zeros_like(g), g)
+        p2 = param(np.zeros_like(g), g)
+        SGD([p1], lr=lr).step()
+        SGD([p2], lr=2 * lr).step()
+        assert np.allclose(p2.data, 2 * p1.data, rtol=1e-4, atol=1e-5)
+
+    @given(GRADS)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_lr_is_noop(self, g):
+        p = param(np.ones_like(g), g)
+        SGD([p], lr=0.0).step()
+        assert np.allclose(p.data, 1.0)
+
+    @given(GRADS, st.floats(0.1, 0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_momentum_first_step_equals_plain(self, g, mom):
+        # With a fresh buffer, momentum SGD's first step equals vanilla.
+        p1 = param(np.zeros_like(g), g.copy())
+        p2 = param(np.zeros_like(g), g.copy())
+        SGD([p1], lr=0.1).step()
+        SGD([p2], lr=0.1, momentum=mom).step()
+        assert np.allclose(p1.data, p2.data, rtol=1e-5, atol=1e-6)
+
+    @given(GRADS)
+    @settings(max_examples=30, deadline=None)
+    def test_descent_direction(self, g):
+        # A step moves opposite the gradient for every coordinate.
+        p = param(np.zeros_like(g), g)
+        SGD([p], lr=0.5).step()
+        assert np.all(p.data * g <= 1e-6)
+
+
+class TestAdamProperties:
+    @given(GRADS.filter(lambda g: np.abs(g).min() > 0.1), st.floats(2.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariance_of_first_step(self, g, scale):
+        # Adam's first update depends on the gradient's sign pattern, not
+        # its magnitude — exactly so only while |g| >> eps, hence the
+        # filter keeping every coordinate away from the eps regime.
+        p1 = param(np.zeros_like(g), g)
+        p2 = param(np.zeros_like(g), g * np.float32(scale))
+        Adam([p1], lr=0.1).step()
+        Adam([p2], lr=0.1).step()
+        assert np.allclose(p1.data, p2.data, rtol=1e-3, atol=1e-5)
+
+    @given(GRADS)
+    @settings(max_examples=30, deadline=None)
+    def test_first_step_bounded_by_lr(self, g):
+        p = param(np.zeros_like(g), g)
+        Adam([p], lr=0.01).step()
+        assert np.all(np.abs(p.data) <= 0.01 + 1e-6)
+
+
+class TestClipProperties:
+    @given(GRADS, st.floats(0.01, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_post_clip_norm_bounded(self, g, bound):
+        p = param(np.zeros_like(g), g)
+        clip_grad_norm([p], bound)
+        assert np.linalg.norm(p.grad) <= bound * (1 + 1e-4) + 1e-6
+
+    @given(GRADS, st.floats(0.01, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_clip_preserves_direction(self, g, bound):
+        p = param(np.zeros_like(g), g.copy())
+        clip_grad_norm([p], bound)
+        # Clipped gradient is a non-negative scalar multiple of the input.
+        dot = float(p.grad @ g)
+        assert dot >= -1e-6
+
+    @given(GRADS)
+    @settings(max_examples=40, deadline=None)
+    def test_reported_norm_matches_numpy(self, g):
+        p = param(np.zeros_like(g), g)
+        norm = clip_grad_norm([p], 1e9)
+        assert norm == pytest.approx(float(np.linalg.norm(g.astype(np.float64))), rel=1e-4)

@@ -1,0 +1,123 @@
+"""Finite-difference validation of every analytic backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients
+
+
+def make(shape, rng, scale=1.0):
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestElementwiseGrads:
+    def test_add_sub(self, rng):
+        a, b = make((3, 4), rng), make((3, 4), rng)
+        check_gradients(lambda: (a + b - a * 0.5).sum(), [a, b])
+
+    def test_mul(self, rng):
+        a, b = make((3, 4), rng), make((3, 4), rng)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = make((3,), rng)
+        b = Tensor(rng.standard_normal(3) + 5.0, requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self, rng):
+        a = Tensor(np.abs(rng.standard_normal(4)) + 0.5, requires_grad=True)
+        check_gradients(lambda: (a**3).sum(), [a])
+
+    def test_exp(self, rng):
+        a = make((4,), rng, 0.5)
+        check_gradients(lambda: a.exp().sum(), [a])
+
+    def test_log(self, rng):
+        a = Tensor(np.abs(rng.standard_normal(4)) + 1.0, requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(np.abs(rng.standard_normal(4)) + 1.0, requires_grad=True)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+    def test_tanh(self, rng):
+        a = make((5,), rng)
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_sigmoid(self, rng):
+        a = make((5,), rng)
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu_away_from_kink(self, rng):
+        a = Tensor(rng.standard_normal(20) + np.where(rng.random(20) > 0.5, 2.0, -2.0),
+                   requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_maximum(self, rng):
+        a = make((6,), rng, 3.0)
+        b = make((6,), rng, 3.0)
+        check_gradients(lambda: (a.maximum(b) * 2).sum(), [a, b], max_bad_frac=0.2)
+
+    def test_abs_away_from_zero(self, rng):
+        a = Tensor(rng.standard_normal(10) + np.sign(rng.standard_normal(10)) * 2,
+                   requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+
+class TestReductionGrads:
+    def test_sum_axis(self, rng):
+        a = make((3, 4), rng)
+        check_gradients(lambda: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_mean_axis_keepdims(self, rng):
+        a = make((3, 4), rng)
+        check_gradients(lambda: (a.mean(axis=1, keepdims=True) * a).sum(), [a])
+
+    def test_var(self, rng):
+        a = make((8,), rng)
+        check_gradients(lambda: a.var().sum(), [a])
+
+    def test_max_axis(self, rng):
+        a = Tensor(rng.permutation(12).astype(np.float32).reshape(3, 4), requires_grad=True)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+
+class TestShapeGrads:
+    def test_reshape_transpose_chain(self, rng):
+        a = make((2, 3, 4), rng)
+        check_gradients(lambda: (a.reshape(6, 4).T @ a.reshape(6, 4)).sum(), [a])
+
+    def test_getitem(self, rng):
+        a = make((5, 3), rng)
+        check_gradients(lambda: (a[1:4] * 2).sum(), [a])
+
+    def test_concat(self, rng):
+        a, b = make((2, 3), rng), make((4, 3), rng)
+        check_gradients(lambda: (Tensor.concat([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_pad(self, rng):
+        a = make((3, 3), rng)
+        check_gradients(lambda: (a.pad(((1, 0), (0, 2))) ** 2).sum(), [a])
+
+
+class TestMatmulGrads:
+    def test_2d(self, rng):
+        a, b = make((3, 4), rng), make((4, 5), rng)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_chain(self, rng):
+        a, b, c = make((2, 3), rng), make((3, 4), rng), make((4, 2), rng)
+        check_gradients(lambda: ((a @ b) @ c).sum(), [a, b, c])
+
+    def test_batched(self, rng):
+        a, b = make((2, 3, 4), rng), make((2, 4, 3), rng)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched_with_broadcast_rhs(self, rng):
+        a, b = make((2, 3, 4), rng), make((4, 5), rng)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_nonuniform_output_grad(self, rng):
+        a, b = make((3, 4), rng), make((4, 5), rng)
+        w = Tensor(rng.standard_normal((3, 5)))
+        check_gradients(lambda: ((a @ b) * w).sum(), [a, b])
