@@ -1,4 +1,5 @@
-"""Benchmark fixtures: deterministic seeding per benchmark."""
+"""Benchmark fixtures: deterministic seeding per benchmark, plus the
+machine-readable metrics artifact written at session end."""
 
 import numpy as np
 import pytest
@@ -16,3 +17,15 @@ def _seed_everything():
 @pytest.fixture
 def rng():
     return np.random.default_rng(2024)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump every table/series printed this session (plus the metrics
+    registry) to BENCH_observability.json so CI can diff the perf
+    trajectory across commits."""
+    import harness
+
+    path = harness.flush_bench_metrics()
+    rep = session.config.pluginmanager.get_plugin("terminalreporter")
+    if rep is not None:
+        rep.write_line(f"benchmark metrics written to {path}")

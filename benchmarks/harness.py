@@ -9,16 +9,22 @@ rough factors), not absolute numbers.
 
 from __future__ import annotations
 
-import numpy as np
+import json
+import platform
+import time
 
-from repro import nn
-from repro.core import classification_batch
+
+from repro import __version__, nn
 from repro.data import DataLoader, make_cifar_like, make_imagenet_like
+from repro.observability import get_registry
 from repro.optim import SGD, MultiStepLR
 
 __all__ = [
     "print_table",
     "print_series",
+    "record_bench",
+    "flush_bench_metrics",
+    "BENCH_METRICS_FILE",
     "image_loaders",
     "imagenet_loaders",
     "scaled_vgg19",
@@ -28,6 +34,38 @@ __all__ = [
     "train_classifier",
     "fmt",
 ]
+
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark record (the CI perf artifact)
+# ---------------------------------------------------------------------------
+
+BENCH_METRICS_FILE = "BENCH_observability.json"
+_BENCH_RECORDS: list[dict] = []
+
+
+def record_bench(kind: str, title: str, payload: dict) -> None:
+    """Append one benchmark result to the session's JSON record."""
+    _BENCH_RECORDS.append({"kind": kind, "title": title, **payload})
+
+
+def flush_bench_metrics(path: str | None = None) -> str:
+    """Write every recorded table/series plus a metrics-registry snapshot.
+
+    Called from the benchmarks ``conftest`` at session end, so a
+    ``pytest benchmarks`` run always leaves a CI-diffable
+    ``BENCH_observability.json`` behind.
+    """
+    path = path or BENCH_METRICS_FILE
+    data = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "records": _BENCH_RECORDS,
+        "metrics": get_registry().snapshot(),
+    }
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, default=str)
+    return path
 
 
 def fmt(v) -> str:
@@ -42,6 +80,7 @@ def fmt(v) -> str:
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     """Aligned plain-text table for benchmark output."""
+    record_bench("table", title, {"headers": list(headers), "rows": [list(r) for r in rows]})
     str_rows = [[fmt(v) for v in row] for row in rows]
     widths = [
         max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
@@ -56,6 +95,9 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
 
 def print_series(title: str, xlabel: str, series: dict[str, list]) -> None:
     """Print named series (the data behind a figure)."""
+    record_bench(
+        "series", title, {"xlabel": xlabel, "series": {k: list(v) for k, v in series.items()}}
+    )
     print(f"\n=== {title} (x = {xlabel}) ===")
     for name, values in series.items():
         print(f"{name:>28}: " + " ".join(fmt(v) for v in values))

@@ -13,7 +13,6 @@ beyond the paper's own tables:
 import time
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_table, scaled_resnet18
 from repro import nn

@@ -8,10 +8,9 @@ communicate, the factorized model's epoch time degrades far less when the
 links slow down — the speedup *widens* under decay.
 """
 
-import numpy as np
 import pytest
 
-from harness import print_series, print_table
+from harness import print_table
 from repro.distributed import (
     BandwidthTrace,
     ClusterSpec,

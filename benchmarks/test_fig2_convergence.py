@@ -12,7 +12,6 @@ the low-rank-from-scratch end-point does not beat vanilla by a margin
 """
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, imagenet_loaders, print_series, scaled_resnet50
 from repro.core import FactorizationConfig, Trainer, build_hybrid

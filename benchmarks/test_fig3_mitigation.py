@@ -10,10 +10,9 @@ assignment.
 """
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_series, print_table, scaled_resnet18
-from repro.core import FactorizationConfig, PufferfishTrainer, build_hybrid
+from repro.core import FactorizationConfig, PufferfishTrainer
 from repro.models import vgg19
 from repro.optim import SGD, MultiStepLR
 from repro.utils import set_seed

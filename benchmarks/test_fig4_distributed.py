@@ -24,7 +24,6 @@ asserted with a 15% band rather than strictly.
 import time
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_series, print_table, scaled_resnet18, scaled_resnet50
 from repro.compression import NoCompression, PowerSGD, Signum

@@ -17,10 +17,8 @@ accuracy in strictly less simulated time, with speedup in the paper's
 """
 
 import numpy as np
-import pytest
 
-from harness import image_loaders, print_series, print_table, scaled_resnet18
-from repro.compression import NoCompression
+from harness import image_loaders, print_series, scaled_resnet18
 from repro.core import Trainer, build_hybrid
 from repro.data import DataLoader, shard_dataset
 from repro.distributed import ClusterSpec, DistributedTrainer

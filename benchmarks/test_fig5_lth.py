@@ -14,7 +14,6 @@ size, Pufferfish's accuracy is at least comparable.
 import time
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_series, print_table
 from repro.core import PufferfishTrainer

@@ -14,7 +14,6 @@ yields a smaller codec cost than composing with PowerSGD.
 """
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_table
 from repro.compression import NoCompression, PowerSGD, TopK

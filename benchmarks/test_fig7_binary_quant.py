@@ -13,7 +13,6 @@ bandwidth regime.
 """
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_table
 from repro.compression import NoCompression, StochasticBinary

@@ -14,7 +14,6 @@ better fidelity is what the warm-up composition buys.
 import time
 
 import numpy as np
-import pytest
 
 from harness import print_table
 from repro.compression import PowerSGD

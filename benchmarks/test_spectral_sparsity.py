@@ -14,7 +14,6 @@ warm-up argument).
 """
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_table
 from repro.core import Trainer, effective_rank, energy_rank, layer_spectra

@@ -13,7 +13,6 @@ tiny fraction of one training epoch.
 import time
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_table, scaled_resnet18, scaled_vgg19
 from repro.core import Trainer, build_hybrid

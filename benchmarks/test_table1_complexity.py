@@ -6,7 +6,6 @@ MACs under the instrumented kernels.
 """
 
 import numpy as np
-import pytest
 
 from harness import print_table
 from repro import nn

@@ -16,11 +16,10 @@ regime, yet ResNet-18 stays ahead.
 import time
 
 import numpy as np
-import pytest
 
-from harness import image_loaders, print_table, scaled_resnet18, scaled_vgg19
+from harness import image_loaders, print_table, scaled_resnet18
 from repro.core import Trainer, build_hybrid
-from repro.models import resnet18_hybrid_config, vgg19_hybrid_config
+from repro.models import resnet18_hybrid_config
 from repro.optim import SGD
 from repro.utils import set_seed
 

@@ -9,13 +9,11 @@ test is the *shape* — Pufferfish shrinks the LSTM with test perplexity
 close to vanilla (both far below the uniform-vocabulary baseline).
 """
 
-import math
 
 import numpy as np
-import pytest
 
 from harness import lm_task, print_table, run_lm
-from repro.core import PufferfishTrainer, build_hybrid
+from repro.core import build_hybrid
 from repro.metrics import perplexity
 from repro.models import LSTMLanguageModel, lstm_lm_hybrid_config
 from repro.utils import set_seed

@@ -10,7 +10,6 @@ better.
 """
 
 import numpy as np
-import pytest
 
 from harness import print_table, run_translation, translation_task
 from repro.core import build_hybrid

@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from harness import image_loaders, print_table, scaled_resnet18, train_classifier
-from repro.core import FactorizationConfig, PufferfishTrainer, build_hybrid
+from repro.core import PufferfishTrainer, build_hybrid
 from repro.metrics import measure_macs
 from repro.models import (
     resnet18,

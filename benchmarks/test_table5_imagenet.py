@@ -12,12 +12,10 @@ near-parity claim and the compression limitation (~1.7x, far below the
 import numpy as np
 import pytest
 
-from harness import imagenet_loaders, print_table, scaled_resnet50, scaled_wrn50, train_classifier
+from harness import imagenet_loaders, print_table, scaled_resnet50, train_classifier
 from repro.core import PufferfishTrainer, build_hybrid
-from repro.metrics import measure_macs
 from repro.models import resnet50, resnet50_hybrid_config, wide_resnet50_2
 from repro.optim import SGD, MultiStepLR
-from repro.tensor import Tensor
 from repro.utils import set_seed
 
 EPOCHS = 6

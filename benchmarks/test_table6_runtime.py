@@ -13,11 +13,9 @@ epoch — no sparse kernels or gradient codecs required.
 import time
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_table, scaled_resnet18, scaled_vgg19
-from repro import nn
-from repro.core import FactorizationConfig, Trainer, build_hybrid
+from repro.core import Trainer, build_hybrid
 from repro.models import resnet18_hybrid_config, vgg19_hybrid_config
 from repro.optim import SGD
 from repro.utils import set_seed

@@ -14,17 +14,14 @@ EB-Train protocol (no label smoothing, step decay).
 """
 
 import numpy as np
-import pytest
 
 from harness import imagenet_loaders, print_table, scaled_resnet50, train_classifier
-from repro.core import PufferfishTrainer, Trainer
+from repro.core import PufferfishTrainer
 from repro.models import resnet50_hybrid_config
 from repro.optim import SGD, MultiStepLR
 from repro.pruning import (
     EarlyBirdDetector,
-    bn_channel_scores,
     bn_l1_penalty_grad,
-    channel_mask,
     prune_resnet,
     resnet_internal_bns,
 )
@@ -44,9 +41,6 @@ def run_eb_train(prune_ratio, seed=77):
     detector = EarlyBirdDetector(prune_ratio, threshold=0.15, patience=2, prunable_bns=bns)
 
     opt = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-4)
-    trainer = Trainer(
-        model, opt, post_step=lambda m: bn_l1_penalty_grad(m, coeff=0.0)
-    )
     # Search phase with BN-L1 sparsity (applied inside the batch loop).
     search_epochs = 0
     for epoch in range(EPOCHS):

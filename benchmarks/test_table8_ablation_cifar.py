@@ -11,7 +11,6 @@ three variants (warm-up helps most — the paper's Section 3 argument).
 """
 
 import numpy as np
-import pytest
 
 from harness import image_loaders, print_table, scaled_resnet18
 from repro.core import FactorizationConfig, PufferfishTrainer

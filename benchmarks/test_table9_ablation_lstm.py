@@ -10,7 +10,6 @@ factorized LSTM from scratch, at equal total epochs.
 """
 
 import numpy as np
-import pytest
 
 from harness import lm_task, print_table, run_lm
 from repro.core import build_hybrid

@@ -11,7 +11,7 @@ Run:  python examples/mixed_precision.py
 
 import numpy as np
 
-from repro.core import FactorizationConfig, PufferfishTrainer
+from repro.core import PufferfishTrainer
 from repro.data import DataLoader, make_cifar_like
 from repro.models import resnet18, resnet18_hybrid_config
 from repro.optim import SGD, MultiStepLR

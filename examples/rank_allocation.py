@@ -21,7 +21,6 @@ from repro.core import (
     Trainer,
     allocation_report,
     budget_rank_allocation,
-    build_hybrid,
     effective_rank,
     energy_rank_allocation,
     layer_spectra,

@@ -40,7 +40,20 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import tensor, nn, optim, core, models, distributed, compression, pruning, data, metrics, utils
+from . import (
+    compression,
+    core,
+    data,
+    distributed,
+    metrics,
+    models,
+    nn,
+    observability,
+    optim,
+    pruning,
+    tensor,
+    utils,
+)
 
 __all__ = [
     "tensor",
@@ -53,6 +66,7 @@ __all__ = [
     "pruning",
     "data",
     "metrics",
+    "observability",
     "utils",
     "__version__",
 ]

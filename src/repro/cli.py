@@ -1,18 +1,21 @@
 """Command-line experiment runner: ``python -m repro <command> ...``.
 
-Three subcommands cover the library's main entry points:
+Four subcommands cover the library's main entry points:
 
 * ``train``     — train a model on a synthetic task, vanilla or Pufferfish.
 * ``factorize`` — print the factorization report (params, per-layer ranks,
   SVD cost) for a model at a given rank ratio, without training.
 * ``simulate``  — run the distributed simulator and print the per-epoch
   compute/encode/comm/decode breakdown for a chosen compressor.
+* ``profile``   — run a workload with the observability layer enabled and
+  dump a Chrome-trace timeline plus a metrics snapshot.
 
 Examples::
 
     python -m repro train --model resnet18 --method pufferfish --epochs 10
     python -m repro factorize --model vgg19 --rank-ratio 0.25
     python -m repro simulate --model resnet18 --nodes 8 --compressor powersgd
+    python -m repro profile quickstart --out trace.json
 """
 
 from __future__ import annotations
@@ -191,6 +194,109 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _profile_quickstart(args):
+    """The quickstart example's Pufferfish run, scaled by the CLI args."""
+    from . import nn
+    from .core import FactorizationConfig, PufferfishTrainer
+    from .data import DataLoader, make_cifar_like
+    from .optim import SGD, MultiStepLR
+    from .utils import set_seed
+
+    set_seed(args.seed)
+    rng = np.random.default_rng(args.seed)
+    ds = make_cifar_like(n=args.samples, num_classes=args.classes, noise=0.2, rng=rng)
+    tr, va = ds.split(int(0.8 * args.samples))
+    train_loader = DataLoader(tr.images, tr.labels, args.batch_size, shuffle=True)
+    val_loader = DataLoader(va.images, va.labels, 2 * args.batch_size)
+
+    model = nn.Sequential(
+        nn.Conv2d(3, 16, 3, padding=1), nn.BatchNorm2d(16), nn.ReLU(), nn.MaxPool2d(2),
+        nn.Conv2d(16, 32, 3, padding=1), nn.ReLU(), nn.GlobalAvgPool2d(),
+        nn.Linear(32, args.classes),
+    )
+    trainer = PufferfishTrainer(
+        model,
+        FactorizationConfig(rank_ratio=0.25),
+        optimizer_factory=lambda ps: SGD(ps, lr=0.05, momentum=0.9, weight_decay=1e-4),
+        warmup_epochs=args.warmup_epochs,
+        total_epochs=args.epochs,
+    )
+    trainer.fit(train_loader, val_loader)
+    return trainer.history
+
+
+def _profile_simulate(args):
+    """A few simulator iterations (vanilla model, chosen compressor)."""
+    from .data import DataLoader, make_cifar_like, shard_dataset
+    from .distributed import ClusterSpec, DistributedTrainer
+    from .optim import SGD
+    from .utils import set_seed
+
+    set_seed(args.seed)
+    rng = np.random.default_rng(args.seed)
+    model = _make_model("mlp", args.classes, 1.0)
+    n = args.nodes * args.batch_size * args.iterations
+    ds = make_cifar_like(n=n, num_classes=args.classes, noise=0.2, rng=rng)
+    shards = shard_dataset(ds.images, ds.labels, args.nodes)
+    loaders = [DataLoader(x, y, args.batch_size) for x, y in shards]
+    cluster = ClusterSpec(args.nodes, bandwidth_gbps=0.3)
+    trainer = DistributedTrainer(
+        model,
+        SGD(model.parameters(), lr=0.05, momentum=0.9),
+        cluster,
+        compressor=_make_compressor(args.compressor, args.nodes),
+    )
+    tl = trainer.train_epoch(loaders)
+    print(f"timeline: compute {tl.compute:.3f}s | encode {tl.encode:.3f}s | "
+          f"comm {tl.comm:.3f}s | decode {tl.decode:.3f}s")
+    return []
+
+
+def cmd_profile(args) -> int:
+    from . import observability as obs
+
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
+    tracer.clear()
+    registry.reset()
+    obs.enable(module_spans=args.modules)
+    try:
+        if args.target == "quickstart":
+            history = _profile_quickstart(args)
+        else:
+            history = _profile_simulate(args)
+    finally:
+        obs.disable()
+
+    path = tracer.write_chrome_trace(args.out)
+    spans = tracer.spans()
+    print(f"\nchrome trace written to {path} ({len(spans)} spans)")
+    print("open it in chrome://tracing or https://ui.perfetto.dev")
+
+    # Reconcile the span timeline against the trainer's own accounting.
+    if history:
+        span_total = tracer.total("epoch")
+        stats_total = sum(s.seconds for s in history)
+        delta = abs(span_total - stats_total) / max(stats_total, 1e-9)
+        print(f"epoch spans {span_total:.3f}s vs EpochStats.seconds "
+              f"{stats_total:.3f}s (delta {100 * delta:.1f}%)")
+
+    print("\ntop spans by exclusive time:")
+    summary = sorted(
+        tracer.summary().items(), key=lambda kv: kv[1]["exclusive"], reverse=True
+    )
+    for name, agg in summary[:12]:
+        print(f"  {name:<24} calls {agg['count']:>5}  total {agg['total']:8.3f}s  "
+              f"exclusive {agg['exclusive']:8.3f}s")
+
+    counters = registry.counters()
+    if counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name:<24} {counters[name]:,}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -234,6 +340,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--lr", type=float, default=0.05)
     p_sim.add_argument("--noise", type=float, default=0.2)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_prof = sub.add_parser(
+        "profile", help="run a workload with tracing/metrics on and dump a Chrome trace"
+    )
+    p_prof.add_argument("target", choices=("quickstart", "simulate"),
+                        help="workload to profile")
+    p_prof.add_argument("--out", default="trace.json", help="Chrome-trace output path")
+    p_prof.add_argument("--modules", action="store_true",
+                        help="also record a span per Module.forward call")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--classes", type=int, default=4)
+    p_prof.add_argument("--epochs", type=int, default=6)
+    p_prof.add_argument("--warmup-epochs", type=int, default=2)
+    p_prof.add_argument("--samples", type=int, default=192)
+    p_prof.add_argument("--batch-size", type=int, default=32)
+    p_prof.add_argument("--nodes", type=int, default=4, help="simulate: world size")
+    p_prof.add_argument("--compressor", choices=COMPRESSORS, default="powersgd",
+                        help="simulate: gradient compressor")
+    p_prof.add_argument("--iterations", type=int, default=2, help="simulate: iterations")
+    p_prof.set_defaults(func=cmd_profile)
     return parser
 
 

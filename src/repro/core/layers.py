@@ -25,9 +25,8 @@ import numpy as np
 
 from ..nn import init
 from ..nn.conv import Conv2d
-from ..nn.linear import Linear
 from ..nn.module import Module, Parameter
-from ..nn.rnn import LSTMLayer, lstm_step
+from ..nn.rnn import lstm_step
 from ..tensor import Tensor
 
 __all__ = ["LowRankLinear", "LowRankConv2d", "LowRankLSTMLayer", "LowRankLSTM"]

@@ -54,7 +54,6 @@ def materialize_layer(layer: Module) -> Module:
 
     if isinstance(layer, LowRankLSTMLayer):
         out = LSTMLayer(layer.input_size, layer.hidden_size)
-        h = layer.hidden_size
         w_ih = np.concatenate(
             [layer.u_ih.data[g] @ layer.vt_ih.data[g] for g in range(4)], axis=0
         )

@@ -29,8 +29,8 @@ from ..nn.conv import Conv2d
 from ..nn.linear import Linear
 from ..nn.module import Module
 from .factorize import unroll_conv_weight
-from .hybrid import FactorizationConfig, factorizable_leaves
-from .spectrum import energy_rank, singular_values
+from .hybrid import factorizable_leaves
+from .spectrum import energy_rank
 
 __all__ = ["energy_rank_allocation", "budget_rank_allocation", "allocation_report"]
 

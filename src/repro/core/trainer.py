@@ -5,13 +5,13 @@ fine-tuning)."""
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
-
-import numpy as np
 
 from ..nn import CrossEntropyLoss, GradScaler, cast_gradients_fp16, autocast_round_trip
 from ..nn.module import Module
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..optim import Optimizer, clip_grad_norm
 from ..tensor import Tensor, no_grad
 from ..utils import Logger
@@ -33,6 +33,9 @@ class EpochStats:
     seconds: float
     num_parameters: int
     phase: str = "train"  # "warmup" (full-rank) or "lowrank"
+    # Counter deltas for this epoch (macs, gemm_calls, ...) when metric
+    # collection is enabled; None otherwise.
+    metrics: dict | None = None
 
 
 def classification_batch(model: Module, batch, loss_fn) -> tuple[Tensor, float, int]:
@@ -117,12 +120,23 @@ class Trainer:
         for epoch in range(start_epoch, start_epoch + epochs):
             if self.scheduler is not None:
                 self.scheduler.step(epoch)
+            counters_before = _metrics.REGISTRY.counters() if _metrics.COLLECT else None
             t0 = time.perf_counter()
-            train_loss, train_metric = self.train_epoch(train_loader)
+            # The "epoch" span brackets exactly the region that ``seconds``
+            # times, so summed epoch spans reconcile with the history.
+            with _trace.span("epoch", epoch=epoch, phase=phase):
+                train_loss, train_metric = self.train_epoch(train_loader)
             elapsed = time.perf_counter() - t0
-            val_loss, val_metric = self.evaluate(val_loader)
+            with _trace.span("evaluate", epoch=epoch):
+                val_loss, val_metric = self.evaluate(val_loader)
             if self.scheduler is not None and hasattr(self.scheduler, "best"):
                 self.scheduler.step(epoch, metric=val_loss)
+            epoch_metrics = None
+            if counters_before is not None:
+                epoch_metrics = _metrics.diff_counters(
+                    _metrics.REGISTRY.counters(), counters_before
+                )
+                _metrics.REGISTRY.histogram("epoch_seconds").observe(elapsed)
             stats = EpochStats(
                 epoch=epoch,
                 train_loss=train_loss,
@@ -133,6 +147,7 @@ class Trainer:
                 seconds=elapsed,
                 num_parameters=self.model.num_parameters(),
                 phase=phase,
+                metrics=epoch_metrics,
             )
             self.history.append(stats)
             self.logger.log(
@@ -156,20 +171,25 @@ class Trainer:
             self.optimizer.zero_grad()
             if self.amp:
                 autocast_round_trip(self.model)
-            loss, metric, count = self.batch_fn(self.model, batch)
+            with _trace.span("forward"):
+                loss, metric, count = self.batch_fn(self.model, batch)
             raw_loss = float(loss.data)
-            if self.amp:
-                self.scaler.scale_loss(loss).backward()
-                cast_gradients_fp16(self.optimizer.params)
-                if not self.scaler.unscale_and_check(self.optimizer.params):
-                    continue
-            else:
-                loss.backward()
-            if self.grad_clip is not None:
-                clip_grad_norm(self.optimizer.params, self.grad_clip)
-            self.optimizer.step()
-            if self.post_step is not None:
-                self.post_step(self.model)
+            with _trace.span("backward"):
+                if self.amp:
+                    self.scaler.scale_loss(loss).backward()
+                    cast_gradients_fp16(self.optimizer.params)
+                    skip = not self.scaler.unscale_and_check(self.optimizer.params)
+                else:
+                    loss.backward()
+                    skip = False
+            if skip:
+                continue
+            with _trace.span("optimizer_step"):
+                if self.grad_clip is not None:
+                    clip_grad_norm(self.optimizer.params, self.grad_clip)
+                self.optimizer.step()
+                if self.post_step is not None:
+                    self.post_step(self.model)
             total_loss += raw_loss
             total_metric += metric
             total_count += count
@@ -254,7 +274,8 @@ class PufferfishTrainer:
             logger=self.logger,
         )
         if self.warmup_epochs > 0:
-            trainer.fit(train_loader, val_loader, self.warmup_epochs, phase="warmup")
+            with _trace.span("phase", name="warmup"):
+                trainer.fit(train_loader, val_loader, self.warmup_epochs, phase="warmup")
         self.history.extend(trainer.history)
 
         # Phase 2: SVD conversion to the hybrid architecture.  A
@@ -262,7 +283,8 @@ class PufferfishTrainer:
         # spectrum-driven rank allocation).
         if self.config_builder is not None:
             self.config = self.config_builder(self.model)
-        hybrid, self.report = build_hybrid(self.model, self.config)
+        with _trace.span("phase", name="svd_conversion"):
+            hybrid, self.report = build_hybrid(self.model, self.config)
         self.logger.log(
             "converted",
             replaced=len(self.report.replaced),
@@ -291,13 +313,14 @@ class PufferfishTrainer:
         )
         remaining = self.total_epochs - self.warmup_epochs
         if remaining > 0:
-            trainer2.fit(
-                train_loader,
-                val_loader,
-                remaining,
-                start_epoch=self.warmup_epochs,
-                phase="lowrank",
-            )
+            with _trace.span("phase", name="lowrank"):
+                trainer2.fit(
+                    train_loader,
+                    val_loader,
+                    remaining,
+                    start_epoch=self.warmup_epochs,
+                    phase="lowrank",
+                )
         self.history.extend(trainer2.history)
         self.hybrid_model = hybrid
         return hybrid

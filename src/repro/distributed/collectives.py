@@ -8,6 +8,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.module import Parameter
+from ..observability import metrics as _metrics
 
 __all__ = [
     "allreduce_mean",
@@ -23,6 +24,11 @@ def allreduce_mean(worker_vectors: list[np.ndarray]) -> np.ndarray:
     """Element-wise mean across workers (the semantic of DDP's allreduce)."""
     if not worker_vectors:
         raise ValueError("no worker vectors")
+    if _metrics.COLLECT:
+        _metrics.REGISTRY.counter("allreduce_calls").inc()
+        _metrics.REGISTRY.counter("bytes_moved").inc(
+            sum(int(v.nbytes) for v in worker_vectors)
+        )
     out = worker_vectors[0].astype(np.float64)
     for v in worker_vectors[1:]:
         out += v
@@ -32,6 +38,11 @@ def allreduce_mean(worker_vectors: list[np.ndarray]) -> np.ndarray:
 def allgather(worker_payloads: list) -> list:
     """Every worker receives every payload (identity here; cost is modeled
     separately)."""
+    if _metrics.COLLECT:
+        _metrics.REGISTRY.counter("allgather_calls").inc()
+        _metrics.REGISTRY.counter("bytes_moved").inc(
+            sum(int(getattr(p, "nbytes", 0)) for p in worker_payloads)
+        )
     return list(worker_payloads)
 
 

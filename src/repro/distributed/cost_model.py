@@ -12,7 +12,10 @@ Bandwidth defaults to the paper's testbed: p3.2xlarge, "up to 10 Gbps".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+from ..observability import metrics as _metrics
 
 __all__ = ["ClusterSpec", "ring_allreduce_time", "allgather_time", "broadcast_time"]
 
@@ -43,12 +46,37 @@ class ClusterSpec:
             raise ValueError("invalid bandwidth/latency")
 
 
+# The simulators evaluate these formulas with identical arguments for
+# every bucket of every iteration, so a small memo pays off; the hit/miss
+# counters also make collective-call reuse visible in metrics snapshots.
+_COST_CACHE: dict[tuple, float] = {}
+_COST_CACHE_MAX = 65536
+
+
+def _cached_cost(key: tuple, compute) -> float:
+    value = _COST_CACHE.get(key)
+    if value is not None:
+        if _metrics.COLLECT:
+            _metrics.REGISTRY.counter("cost_model.cache_hits").inc()
+        return value
+    value = compute()
+    if len(_COST_CACHE) < _COST_CACHE_MAX:
+        _COST_CACHE[key] = value
+    if _metrics.COLLECT:
+        _metrics.REGISTRY.counter("cost_model.cache_misses").inc()
+    return value
+
+
 def ring_allreduce_time(nbytes: float, cluster: ClusterSpec) -> float:
     """Ring allreduce: ``2(p-1)α + 2 (p-1)/p · M/B`` seconds."""
     p = cluster.num_nodes
     if p == 1:
         return 0.0
-    return 2 * (p - 1) * cluster.latency_s + 2 * (p - 1) / p * nbytes / cluster.bytes_per_second
+    return _cached_cost(
+        ("ring", float(nbytes), cluster),
+        lambda: 2 * (p - 1) * cluster.latency_s
+        + 2 * (p - 1) / p * nbytes / cluster.bytes_per_second,
+    )
 
 
 def allgather_time(nbytes: float, cluster: ClusterSpec) -> float:
@@ -57,15 +85,19 @@ def allgather_time(nbytes: float, cluster: ClusterSpec) -> float:
     p = cluster.num_nodes
     if p == 1:
         return 0.0
-    return (p - 1) * cluster.latency_s + (p - 1) * nbytes / cluster.bytes_per_second
+    return _cached_cost(
+        ("allgather", float(nbytes), cluster),
+        lambda: (p - 1) * cluster.latency_s + (p - 1) * nbytes / cluster.bytes_per_second,
+    )
 
 
 def broadcast_time(nbytes: float, cluster: ClusterSpec) -> float:
     """Binomial-tree broadcast: ``ceil(log2 p) (α + M/B)``."""
-    import math
-
     p = cluster.num_nodes
     if p == 1:
         return 0.0
     rounds = math.ceil(math.log2(p))
-    return rounds * (cluster.latency_s + nbytes / cluster.bytes_per_second)
+    return _cached_cost(
+        ("broadcast", float(nbytes), cluster),
+        lambda: rounds * (cluster.latency_s + nbytes / cluster.bytes_per_second),
+    )

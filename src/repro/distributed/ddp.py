@@ -28,9 +28,9 @@ import numpy as np
 
 from ..compression.base import Compressor, NoCompression
 from ..nn.module import Module
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..optim import Optimizer
-from ..tensor import Tensor
-from .collectives import assign_gradient_vector
 from .cost_model import ClusterSpec, allgather_time, ring_allreduce_time
 
 __all__ = ["TimelineBreakdown", "DistributedTrainer", "DDPTimelineModel"]
@@ -49,13 +49,16 @@ class TimelineBreakdown:
     other: float = 0.0
     iterations: int = 0
     bytes_per_iteration: float = 0.0
+    # Counter deltas accumulated over the epoch (allreduce_calls,
+    # bytes_moved, macs, ...) when metric collection is enabled.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def total(self) -> float:
         return self.compute + self.encode + self.comm + self.decode + self.other
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "compute": self.compute,
             "encode": self.encode,
             "comm": self.comm,
@@ -63,6 +66,9 @@ class TimelineBreakdown:
             "other": self.other,
             "total": self.total,
         }
+        if self.metrics:
+            out["metrics"] = dict(self.metrics)
+        return out
 
 
 class DistributedTrainer:
@@ -109,10 +115,14 @@ class DistributedTrainer:
     def _comm_time(self, nbytes: float, n_messages: int) -> float:
         """Wire time for one worker's payload of ``nbytes``."""
         if self.compressor.allreduce_compatible:
+            if _metrics.COLLECT:
+                _metrics.REGISTRY.counter("allreduce_calls").inc(n_messages)
             per_message = nbytes / max(n_messages, 1)
             return sum(
                 ring_allreduce_time(per_message, self.cluster) for _ in range(n_messages)
             )
+        if _metrics.COLLECT:
+            _metrics.REGISTRY.counter("allgather_calls").inc()
         return allgather_time(nbytes, self.cluster)
 
     def train_epoch(self, worker_loaders: list) -> TimelineBreakdown:
@@ -126,31 +136,35 @@ class DistributedTrainer:
         timeline = TimelineBreakdown()
         self.model.train()
         params = self.optimizer.params
+        counters_before = _metrics.REGISTRY.counters() if _metrics.COLLECT else None
 
         for batches in zip(*[iter(dl) for dl in worker_loaders]):
             # --- compute phase: each worker's forward/backward ---------
             worker_grads: list[list[np.ndarray]] = []
             worker_compute: list[float] = []
-            for batch in batches:
-                self.optimizer.zero_grad()
-                t0 = time.perf_counter()
-                loss, _, _ = self.batch_fn(self.model, batch)
-                loss.backward()
-                worker_compute.append(time.perf_counter() - t0)
-                worker_grads.append(
-                    [
-                        (p.grad if p.grad is not None else np.zeros_like(p.data)).copy()
-                        for p in params
-                    ]
-                )
+            with _trace.span("ddp.compute", iteration=timeline.iterations):
+                for batch in batches:
+                    self.optimizer.zero_grad()
+                    t0 = time.perf_counter()
+                    loss, _, _ = self.batch_fn(self.model, batch)
+                    loss.backward()
+                    worker_compute.append(time.perf_counter() - t0)
+                    worker_grads.append(
+                        [
+                            (p.grad if p.grad is not None else np.zeros_like(p.data)).copy()
+                            for p in params
+                        ]
+                    )
             # Workers run concurrently: the slowest sets the pace.
             timeline.compute += max(worker_compute)
 
             # --- encode phase ------------------------------------------
             t0 = time.perf_counter()
-            encoded = [
-                self.compressor.encode(w, grads) for w, grads in enumerate(worker_grads)
-            ]
+            with _trace.span("ddp.encode", iteration=timeline.iterations):
+                encoded = [
+                    self.compressor.encode(w, grads)
+                    for w, grads in enumerate(worker_grads)
+                ]
             encode_elapsed = time.perf_counter() - t0
             # Encoding also happens in parallel across workers.
             timeline.encode += encode_elapsed / len(worker_grads)
@@ -160,17 +174,31 @@ class DistributedTrainer:
             n_messages = 1 if self.flat_allreduce else len(params)
             timeline.comm += self._comm_time(nbytes, n_messages)
             timeline.bytes_per_iteration = nbytes
+            if _metrics.COLLECT:
+                # Wire bytes each worker injects per iteration (the modeled
+                # payload, as opposed to the in-process bytes counted by the
+                # collectives themselves).
+                _metrics.REGISTRY.counter("ddp.wire_bytes").inc(
+                    int(nbytes) * self.cluster.num_nodes
+                )
 
             # --- decode phase -------------------------------------------
             t0 = time.perf_counter()
-            agg = self.compressor.decode_aggregate(encoded)
+            with _trace.span("ddp.decode", iteration=timeline.iterations):
+                agg = self.compressor.decode_aggregate(encoded)
             timeline.decode += time.perf_counter() - t0
 
             # --- apply ---------------------------------------------------
-            for p, g in zip(params, agg):
-                p.grad = np.ascontiguousarray(g, dtype=np.float32)
-            self.optimizer.step()
+            with _trace.span("ddp.step", iteration=timeline.iterations):
+                for p, g in zip(params, agg):
+                    p.grad = np.ascontiguousarray(g, dtype=np.float32)
+                self.optimizer.step()
             timeline.iterations += 1
+
+        if counters_before is not None:
+            timeline.metrics = _metrics.diff_counters(
+                _metrics.REGISTRY.counters(), counters_before
+            )
         return timeline
 
     def evaluate(self, loader) -> tuple[float, float]:

@@ -12,10 +12,9 @@ Two complementary routes:
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..nn.module import Module
-from ..tensor import Tensor, count_macs, no_grad
+from ..tensor import count_macs, no_grad
 
 __all__ = [
     "measure_macs",

@@ -27,7 +27,6 @@ from ..nn import (
     ReLU,
     Sequential,
 )
-from ..nn.container import ModuleList
 from ..tensor import Tensor
 
 __all__ = [

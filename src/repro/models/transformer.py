@@ -16,9 +16,7 @@ import numpy as np
 
 from ..core.hybrid import FactorizationConfig
 from ..nn import (
-    Dropout,
     Embedding,
-    LayerNorm,
     Module,
     Parameter,
     PositionalEncoding,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, cross_entropy, log_softmax, nll_loss
+from ..tensor import Tensor, cross_entropy, nll_loss
 from .module import Module
 
 __all__ = ["CrossEntropyLoss", "NLLLoss", "MSELoss"]

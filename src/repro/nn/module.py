@@ -14,6 +14,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..observability import trace as _trace
 from ..tensor import Tensor
 
 __all__ = ["Parameter", "Module"]
@@ -191,6 +192,11 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        # Per-module forward spans are finer-grained than the phase spans,
+        # so they sit behind their own flag (see observability.trace).
+        if _trace.MODULE_SPANS and _trace.ENABLED:
+            with _trace.span(type(self).__name__, kind="module"):
+                return self.forward(*args, **kwargs)
         return self.forward(*args, **kwargs)
 
     def __repr__(self) -> str:

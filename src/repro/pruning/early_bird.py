@@ -16,7 +16,6 @@ block-internal channels are pruned so residual shapes stay intact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -191,7 +190,6 @@ def prune_vgg(model: VGG, masks: dict[str, np.ndarray]) -> Module:
     cls_mods = list(model.classifier._modules.values())
     new_cls: list[Module] = [Flatten()]
     first_linear = True
-    spatial = None
     for mod in cls_mods:
         if isinstance(mod, Linear):
             if first_linear and keep_prev is not None:

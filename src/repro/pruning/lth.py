@@ -19,7 +19,7 @@ and norms stay dense), matching open_lth's defaults.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import profiler as _profiler
 from .tensor import Tensor
 
 __all__ = ["conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d", "im2col", "col2im"]
@@ -93,11 +94,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
     cols = im2col(x.data, kh, kw, stride, padding)  # (N*oh*ow, C*kh*kw)
     w2d = weight.data.reshape(c_out, -1)  # (c_out, C*kh*kw)
     out = cols @ w2d.T  # (N*oh*ow, c_out)
-    from .profiler import add_macs, macs_active
-
-    if macs_active():
+    if _profiler.profiling_active():
         # c_in·c_out·k²·H_out·W_out MACs per image (Table 1's conv formula).
-        add_macs(cols.shape[0] * cols.shape[1] * c_out)
+        _profiler.record_conv(cols.shape[0] * cols.shape[1] * c_out)
     if bias is not None:
         out = out + bias.data
     out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)

@@ -21,6 +21,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from . import profiler as _profiler
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 DEFAULT_DTYPE = np.float32
@@ -389,12 +391,10 @@ class Tensor:
         """Matrix product supporting 2-D and batched (>2-D) operands."""
         other = Tensor._coerce(other)
         out_data = self.data @ other.data
-        from .profiler import add_macs, macs_active
-
-        if macs_active():
+        if _profiler.profiling_active():
             # MACs = (#output elements) × (contracted dimension).
             k = self.data.shape[-1]
-            add_macs(int(np.prod(out_data.shape)) * k)
+            _profiler.record_gemm(int(np.prod(out_data.shape)) * k)
 
         def backward(g: np.ndarray) -> None:
             a, b = self.data, other.data

@@ -34,6 +34,23 @@ class Logger:
         parts.extend(f"{k}={_fmt(v)}" for k, v in fields.items())
         print(" ".join(parts), file=self.stream)
 
+    def metrics(self, snapshot: dict, msg: str = "metrics") -> None:
+        """Log a :meth:`MetricsRegistry.snapshot` (or counters map) compactly.
+
+        Accepts either the structured ``{"counters": ..., "gauges": ...,
+        "histograms": ...}`` form or a flat ``name -> value`` map.
+        """
+        if not self.enabled:
+            return
+        if set(snapshot) <= {"counters", "gauges", "histograms"}:
+            flat: dict = {}
+            flat.update(snapshot.get("counters", {}))
+            flat.update(snapshot.get("gauges", {}))
+            for name, h in snapshot.get("histograms", {}).items():
+                flat[name] = f"n={h.get('count', 0)},p50={_fmt(h.get('p50', 0.0))}"
+            snapshot = flat
+        self.log(msg, **snapshot)
+
 
 def _fmt(v) -> str:
     if isinstance(v, float):

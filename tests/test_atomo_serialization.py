@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.compression import Atomo, atomo_probabilities
 from repro.models import MLP
 from repro.optim import SGD, Adam

@@ -2,7 +2,6 @@
 buffer transfer (the Algorithm 1 conversion step)."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.core import (

@@ -7,7 +7,6 @@ from repro import nn
 from repro.core import FactorizationConfig, PufferfishTrainer, Trainer
 from repro.data import DataLoader
 from repro.optim import SGD
-from repro.tensor import Tensor
 
 
 def make_task(rng, n=96, num_classes=3, dim=12):
@@ -214,5 +213,5 @@ class TestConfigBuilder:
                 rank_overrides=energy_rank_allocation(m, 0.8)
             ),
         )
-        hybrid = pt.fit(loader, loader)
+        pt.fit(loader, loader)
         assert pt.report.replaced  # the allocation produced real overrides

@@ -1,9 +1,7 @@
 """Reproducibility guarantees: seeded runs are bit-identical."""
 
 import numpy as np
-import pytest
 
-from repro import nn
 from repro.core import FactorizationConfig, PufferfishTrainer, Trainer, build_hybrid
 from repro.data import DataLoader, make_cifar_like, make_lm_corpus, make_translation_dataset
 from repro.models import MLP, resnet18, vgg11

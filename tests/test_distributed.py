@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.compression import NoCompression, PowerSGD, Signum
+from repro.compression import Signum
 from repro.data import DataLoader, shard_dataset
 from repro.distributed import (
     ClusterSpec,
@@ -109,7 +109,6 @@ class TestDistributedEquivalence:
     def test_matches_centralized_sgd_exactly(self, rng):
         """K-shard simulated data-parallel SGD == single-node SGD on the
         combined batch (no BN, so the equivalence is exact)."""
-        from repro.core import Trainer
 
         x = rng.standard_normal((32, 6)).astype(np.float32)
         y = rng.integers(0, 3, 32)
@@ -180,7 +179,6 @@ class TestDistributedEquivalence:
     def test_flat_vs_per_layer_latency(self, rng):
         # Section 4.1: one flat allreduce must beat per-layer allreduces on
         # the latency term.
-        model = MLP(6, [8, 8, 8], 3)
         x = rng.standard_normal((8, 6)).astype(np.float32)
         y = rng.integers(0, 3, 8)
 

@@ -6,7 +6,6 @@ they assert direction, not magnitude, and stay fast enough for CI.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.core import (
@@ -17,7 +16,7 @@ from repro.core import (
 )
 from repro.data import DataLoader, make_cifar_like, make_lm_corpus, batchify, get_lm_batch
 from repro.metrics import perplexity
-from repro.models import LSTMLanguageModel, MLP, lstm_lm_hybrid_config
+from repro.models import LSTMLanguageModel, lstm_lm_hybrid_config
 from repro.optim import SGD, Adam, clip_grad_norm
 from repro.tensor import Tensor
 from repro.utils import set_seed

@@ -2,7 +2,6 @@
 gradients, and equivalence with a step-by-step manual recurrence."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.tensor import Tensor, check_gradients

@@ -3,14 +3,12 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.nn.module import Parameter
 from repro.optim import (
     SGD,
     Adam,
     LinearWarmup,
     MultiStepLR,
-    Optimizer,
     ReduceLROnPlateau,
     StepDecayAt,
     clip_grad_norm,
@@ -174,7 +172,6 @@ class TestSchedulers:
 
 class TestOptimizerTraining:
     def test_sgd_minimizes_quadratic(self):
-        from repro.tensor import Tensor
 
         w = Parameter(np.array([5.0], dtype=np.float32))
         opt = SGD([w], lr=0.1)

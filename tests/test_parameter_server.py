@@ -1,6 +1,5 @@
 """Parameter-server cost model, bandwidth traces, LTH-variant VGG."""
 
-import numpy as np
 import pytest
 
 from repro.distributed import (

@@ -1,7 +1,6 @@
 """Finite-difference validation of every analytic backward pass."""
 
 import numpy as np
-import pytest
 
 from repro.tensor import Tensor, check_gradients
 
