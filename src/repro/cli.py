@@ -21,6 +21,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import sys
 
 import numpy as np
 
@@ -164,9 +165,23 @@ def cmd_factorize(args) -> int:
 def cmd_simulate(args) -> int:
     from .core import build_hybrid
     from .data import DataLoader, make_cifar_like, shard_dataset
-    from .distributed import ClusterSpec, DistributedTrainer
+    from .distributed import (
+        ClusterSpec,
+        CollectiveTimeoutError,
+        DistributedTrainer,
+        FaultSpecError,
+        parse_fault_spec,
+    )
     from .optim import SGD
     from .utils import set_seed
+
+    faults = None
+    if args.faults:
+        try:
+            faults = parse_fault_spec(args.faults)
+        except FaultSpecError as e:
+            print(f"bad --faults spec: {e}", file=sys.stderr)
+            return 2
 
     set_seed(args.seed)
     rng = np.random.default_rng(args.seed)
@@ -183,14 +198,26 @@ def cmd_simulate(args) -> int:
     cluster = ClusterSpec(args.nodes, bandwidth_gbps=args.bandwidth)
     opt = SGD(model.parameters(), lr=args.lr, momentum=0.9)
     trainer = DistributedTrainer(
-        model, opt, cluster, compressor=_make_compressor(args.compressor, args.nodes)
+        model, opt, cluster,
+        compressor=_make_compressor(args.compressor, args.nodes),
+        faults=faults,
     )
-    tl = trainer.train_epoch(loaders)
+    try:
+        tl = trainer.train_epoch(loaders)
+    except CollectiveTimeoutError as e:
+        print(f"simulation aborted: {e}")
+        return 1
     print(f"\ncluster: {args.nodes} nodes @ {args.bandwidth} Gbps "
           f"| compressor: {args.compressor}")
     print(f"compute {tl.compute:.3f}s | encode {tl.encode:.3f}s | "
           f"comm {tl.comm:.3f}s | decode {tl.decode:.3f}s | total {tl.total:.3f}s")
     print(f"wire bytes per iteration: {tl.bytes_per_iteration/1e6:.2f} MB")
+    if trainer.faults is not None and trainer.faults.spec.active:
+        s = trainer.faults.summary()
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(s["by_kind"].items())) or "none"
+        print(f"faults (seed {faults.seed}): {s['events']} events [{kinds}]")
+        print(f"  retries {s['retries']} | backoff {s['backoff_s']*1e3:.1f} ms | "
+              f"recovery {s['recovery_s']:.3f}s")
     return 0
 
 
@@ -339,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--iterations", type=int, default=2)
     p_sim.add_argument("--lr", type=float, default=0.05)
     p_sim.add_argument("--noise", type=float, default=0.2)
+    p_sim.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec: JSON file/string or compact form, e.g. "
+             "'seed=42,straggler=lognormal:0.2,drop=0.01,link=0.05:0.25:3,"
+             "failure=0.002:shrink' (see docs/FAULTS.md)",
+    )
     p_sim.set_defaults(func=cmd_simulate)
 
     p_prof = sub.add_parser(

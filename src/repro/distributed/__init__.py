@@ -1,16 +1,35 @@
 """Distributed data-parallel training simulator: α–β cost models, exact
-collectives, and per-epoch timeline breakdowns."""
+collectives, per-epoch timeline breakdowns, and seeded fault injection
+(stragglers, link degradation, message drops, worker failures)."""
 
 from .cost_model import ClusterSpec, ring_allreduce_time, allgather_time, broadcast_time
 from .collectives import (
     allreduce_mean,
     allgather,
+    ring_allreduce_mean,
+    ring_allgather,
     flatten_arrays,
     unflatten_vector,
     gradient_vector,
     assign_gradient_vector,
 )
 from .ddp import TimelineBreakdown, DistributedTrainer, DDPTimelineModel
+from .errors import (
+    AllWorkersLostError,
+    CollectiveTimeoutError,
+    DistributedError,
+    FaultSpecError,
+)
+from .faults import (
+    DropSpec,
+    FailureSpec,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+    LinkSpec,
+    StragglerSpec,
+    parse_fault_spec,
+)
 from .parameter_server import parameter_server_time, BandwidthTrace, effective_epoch_times
 
 __all__ = [
@@ -20,6 +39,8 @@ __all__ = [
     "broadcast_time",
     "allreduce_mean",
     "allgather",
+    "ring_allreduce_mean",
+    "ring_allgather",
     "flatten_arrays",
     "unflatten_vector",
     "gradient_vector",
@@ -30,4 +51,16 @@ __all__ = [
     "parameter_server_time",
     "BandwidthTrace",
     "effective_epoch_times",
+    "DistributedError",
+    "FaultSpecError",
+    "CollectiveTimeoutError",
+    "AllWorkersLostError",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultEvent",
+    "StragglerSpec",
+    "LinkSpec",
+    "DropSpec",
+    "FailureSpec",
+    "parse_fault_spec",
 ]

@@ -49,8 +49,15 @@ class ClusterSpec:
 # The simulators evaluate these formulas with identical arguments for
 # every bucket of every iteration, so a small memo pays off; the hit/miss
 # counters also make collective-call reuse visible in metrics snapshots.
+# Keys include the link-degradation factor: a degraded and a nominal
+# evaluation of the same collective must never alias.
 _COST_CACHE: dict[tuple, float] = {}
 _COST_CACHE_MAX = 65536
+
+
+def _check_degradation(degradation: float) -> None:
+    if not 0.0 < degradation <= 1.0:
+        raise ValueError("degradation must be in (0, 1]")
 
 
 def _cached_cost(key: tuple, compute) -> float:
@@ -67,37 +74,52 @@ def _cached_cost(key: tuple, compute) -> float:
     return value
 
 
-def ring_allreduce_time(nbytes: float, cluster: ClusterSpec) -> float:
-    """Ring allreduce: ``2(p-1)α + 2 (p-1)/p · M/B`` seconds."""
+def ring_allreduce_time(
+    nbytes: float, cluster: ClusterSpec, degradation: float = 1.0
+) -> float:
+    """Ring allreduce: ``2(p-1)α + 2 (p-1)/p · M/B`` seconds.
+
+    ``degradation`` scales the effective link bandwidth (1.0 = nominal);
+    fault injection uses it to model transient congestion.
+    """
+    _check_degradation(degradation)
     p = cluster.num_nodes
     if p == 1:
         return 0.0
+    bps = cluster.bytes_per_second * degradation
     return _cached_cost(
-        ("ring", float(nbytes), cluster),
-        lambda: 2 * (p - 1) * cluster.latency_s
-        + 2 * (p - 1) / p * nbytes / cluster.bytes_per_second,
+        ("ring", float(nbytes), cluster, degradation),
+        lambda: 2 * (p - 1) * cluster.latency_s + 2 * (p - 1) / p * nbytes / bps,
     )
 
 
-def allgather_time(nbytes: float, cluster: ClusterSpec) -> float:
+def allgather_time(
+    nbytes: float, cluster: ClusterSpec, degradation: float = 1.0
+) -> float:
     """Ring allgather of per-node payloads of ``nbytes``:
     ``(p-1)α + (p-1) · M/B`` seconds."""
+    _check_degradation(degradation)
     p = cluster.num_nodes
     if p == 1:
         return 0.0
+    bps = cluster.bytes_per_second * degradation
     return _cached_cost(
-        ("allgather", float(nbytes), cluster),
-        lambda: (p - 1) * cluster.latency_s + (p - 1) * nbytes / cluster.bytes_per_second,
+        ("allgather", float(nbytes), cluster, degradation),
+        lambda: (p - 1) * cluster.latency_s + (p - 1) * nbytes / bps,
     )
 
 
-def broadcast_time(nbytes: float, cluster: ClusterSpec) -> float:
+def broadcast_time(
+    nbytes: float, cluster: ClusterSpec, degradation: float = 1.0
+) -> float:
     """Binomial-tree broadcast: ``ceil(log2 p) (α + M/B)``."""
+    _check_degradation(degradation)
     p = cluster.num_nodes
     if p == 1:
         return 0.0
     rounds = math.ceil(math.log2(p))
+    bps = cluster.bytes_per_second * degradation
     return _cached_cost(
-        ("broadcast", float(nbytes), cluster),
-        lambda: rounds * (cluster.latency_s + nbytes / cluster.bytes_per_second),
+        ("broadcast", float(nbytes), cluster, degradation),
+        lambda: rounds * (cluster.latency_s + nbytes / bps),
     )

@@ -31,7 +31,9 @@ from ..nn.module import Module
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
 from ..optim import Optimizer
-from .cost_model import ClusterSpec, allgather_time, ring_allreduce_time
+from .cost_model import ClusterSpec, allgather_time, broadcast_time, ring_allreduce_time
+from .errors import AllWorkersLostError
+from .faults import as_injector
 
 __all__ = ["TimelineBreakdown", "DistributedTrainer", "DDPTimelineModel"]
 
@@ -52,6 +54,9 @@ class TimelineBreakdown:
     # Counter deltas accumulated over the epoch (allreduce_calls,
     # bytes_moved, macs, ...) when metric collection is enabled.
     metrics: dict = field(default_factory=dict)
+    # Fault-injection summary (empty when no injector was attached, so the
+    # no-faults breakdown is unchanged).
+    faults: dict = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -68,6 +73,8 @@ class TimelineBreakdown:
         }
         if self.metrics:
             out["metrics"] = dict(self.metrics)
+        if self.faults:
+            out["faults"] = dict(self.faults)
         return out
 
 
@@ -85,6 +92,11 @@ class DistributedTrainer:
     flat_allreduce: pack all tensors into one buffer (Section 4.1).  Only
         meaningful for allreduce-compatible compressors; per-layer calls
         add ``2(p-1)α`` latency per layer.
+    faults: optional :class:`~repro.distributed.faults.FaultSpec` (or
+        prebuilt injector).  Adds per-worker stragglers, link degradation,
+        message drop/retry and whole-worker failure with the spec's
+        recovery policy; ``None`` (the default) leaves every code path and
+        timing untouched.
     """
 
     def __init__(
@@ -96,6 +108,7 @@ class DistributedTrainer:
         batch_fn=None,
         loss_fn=None,
         flat_allreduce: bool = True,
+        faults=None,
     ):
         from ..core.trainer import classification_batch
         from ..nn import CrossEntropyLoss
@@ -109,21 +122,64 @@ class DistributedTrainer:
             lambda m, b: classification_batch(m, b, self.loss_fn)
         )
         self.flat_allreduce = flat_allreduce
+        self.faults = as_injector(faults)
+        # Workers currently in the ring (shrink-mode failures leave
+        # permanently; rejoin-mode failures miss one iteration).
+        self._active: list[int] = list(range(cluster.num_nodes))
+        self._rejoining: list[int] = []
+        self._global_iteration = 0
 
     # ------------------------------------------------------------------
 
-    def _comm_time(self, nbytes: float, n_messages: int) -> float:
+    def _comm_time(
+        self,
+        nbytes: float,
+        n_messages: int,
+        degradation: float = 1.0,
+        world: int | None = None,
+    ) -> float:
         """Wire time for one worker's payload of ``nbytes``."""
+        cluster = self.cluster
+        if world is not None and world != cluster.num_nodes:
+            cluster = ClusterSpec(world, cluster.bandwidth_gbps, cluster.latency_s)
         if self.compressor.allreduce_compatible:
             if _metrics.COLLECT:
                 _metrics.REGISTRY.counter("allreduce_calls").inc(n_messages)
             per_message = nbytes / max(n_messages, 1)
             return sum(
-                ring_allreduce_time(per_message, self.cluster) for _ in range(n_messages)
+                ring_allreduce_time(per_message, cluster, degradation)
+                for _ in range(n_messages)
             )
         if _metrics.COLLECT:
             _metrics.REGISTRY.counter("allgather_calls").inc()
-        return allgather_time(nbytes, self.cluster)
+        return allgather_time(nbytes, cluster, degradation)
+
+    def _model_bytes(self) -> float:
+        return sum(p.data.size for p in self.optimizer.params) * FLOAT32_BYTES
+
+    def _apply_failures(self, iteration: int, timeline: TimelineBreakdown) -> None:
+        """Draw worker failures for this iteration and charge recovery."""
+        injector = self.faults
+        spec = injector.spec.failure
+        # Rejoin-mode workers that failed last iteration come back first.
+        if self._rejoining:
+            self._active = sorted(self._active + self._rejoining)
+            self._rejoining = []
+        for w in list(self._active):
+            if not injector.worker_failed(iteration, w):
+                continue
+            self._active.remove(w)
+            if spec.recovery == "rejoin":
+                # The ring stalls while the worker reloads the checkpoint
+                # and receives the current model.
+                recovery = spec.recovery_s + broadcast_time(
+                    self._model_bytes(), self.cluster
+                )
+                timeline.other += recovery
+                injector.record_recovery(iteration, w, recovery)
+                self._rejoining.append(w)
+        if not self._active:
+            raise AllWorkersLostError(iteration)
 
     def train_epoch(self, worker_loaders: list) -> TimelineBreakdown:
         """One synchronized epoch over per-worker shard loaders.
@@ -136,19 +192,32 @@ class DistributedTrainer:
         timeline = TimelineBreakdown()
         self.model.train()
         params = self.optimizer.params
+        injector = self.faults
         counters_before = _metrics.REGISTRY.counters() if _metrics.COLLECT else None
 
         for batches in zip(*[iter(dl) for dl in worker_loaders]):
+            iteration = self._global_iteration
+            if injector is not None:
+                self._apply_failures(iteration, timeline)
+                active: list[int] | range = list(self._active)
+            else:
+                active = range(len(batches))
+
             # --- compute phase: each worker's forward/backward ---------
             worker_grads: list[list[np.ndarray]] = []
             worker_compute: list[float] = []
             with _trace.span("ddp.compute", iteration=timeline.iterations):
-                for batch in batches:
+                for w in active:
                     self.optimizer.zero_grad()
                     t0 = time.perf_counter()
-                    loss, _, _ = self.batch_fn(self.model, batch)
+                    loss, _, _ = self.batch_fn(self.model, batches[w])
                     loss.backward()
-                    worker_compute.append(time.perf_counter() - t0)
+                    elapsed = time.perf_counter() - t0
+                    if injector is not None:
+                        # A straggler's iteration takes longer on the
+                        # modeled clock; the numerics are unchanged.
+                        elapsed *= injector.compute_multiplier(iteration, w)
+                    worker_compute.append(elapsed)
                     worker_grads.append(
                         [
                             (p.grad if p.grad is not None else np.zeros_like(p.data)).copy()
@@ -163,7 +232,7 @@ class DistributedTrainer:
             with _trace.span("ddp.encode", iteration=timeline.iterations):
                 encoded = [
                     self.compressor.encode(w, grads)
-                    for w, grads in enumerate(worker_grads)
+                    for w, grads in zip(active, worker_grads)
                 ]
             encode_elapsed = time.perf_counter() - t0
             # Encoding also happens in parallel across workers.
@@ -172,14 +241,27 @@ class DistributedTrainer:
             # --- communication (modeled) -------------------------------
             nbytes = encoded[0].nbytes
             n_messages = 1 if self.flat_allreduce else len(params)
-            timeline.comm += self._comm_time(nbytes, n_messages)
+            if injector is None:
+                timeline.comm += self._comm_time(nbytes, n_messages)
+                world = self.cluster.num_nodes
+            else:
+                world = len(worker_grads)
+                degradation = injector.link_factor(iteration)
+                comm = self._comm_time(nbytes, n_messages, degradation, world)
+                # Message drops stall the synchronous ring; exhausted
+                # retries raise CollectiveTimeoutError out of the epoch.
+                op = "allreduce" if self.compressor.allreduce_compatible else "allgather"
+                steps = (2 if op == "allreduce" else 1) * max(world - 1, 0)
+                comm += injector.collective_penalty(op, iteration, steps)
+                comm += injector.drain_penalty()
+                timeline.comm += comm
             timeline.bytes_per_iteration = nbytes
             if _metrics.COLLECT:
                 # Wire bytes each worker injects per iteration (the modeled
                 # payload, as opposed to the in-process bytes counted by the
                 # collectives themselves).
                 _metrics.REGISTRY.counter("ddp.wire_bytes").inc(
-                    int(nbytes) * self.cluster.num_nodes
+                    int(nbytes) * world
                 )
 
             # --- decode phase -------------------------------------------
@@ -194,11 +276,14 @@ class DistributedTrainer:
                     p.grad = np.ascontiguousarray(g, dtype=np.float32)
                 self.optimizer.step()
             timeline.iterations += 1
+            self._global_iteration += 1
 
         if counters_before is not None:
             timeline.metrics = _metrics.diff_counters(
                 _metrics.REGISTRY.counters(), counters_before
             )
+        if injector is not None and injector.spec.active:
+            timeline.faults = injector.summary()
         return timeline
 
     def evaluate(self, loader) -> tuple[float, float]:
@@ -227,13 +312,20 @@ class DDPTimelineModel:
         # Fraction of fwd+bwd time that is backward (≈ 2/3 for conv nets).
         self.backward_fraction = backward_fraction
 
-    def iteration_time(self, model_bytes: float, compute_seconds: float) -> dict:
+    def iteration_time(
+        self, model_bytes: float, compute_seconds: float, degradation: float = 1.0
+    ) -> dict:
         """Timing for one iteration of a model with ``model_bytes`` of
-        gradients and measured per-iteration ``compute_seconds``."""
+        gradients and measured per-iteration ``compute_seconds``.
+
+        ``degradation`` scales effective link bandwidth — the knob fault
+        scenarios use to model congested links."""
         n_buckets = max(1, math.ceil(model_bytes / self.bucket_bytes))
         comm = sum(
             ring_allreduce_time(
-                min(self.bucket_bytes, model_bytes - i * self.bucket_bytes), self.cluster
+                min(self.bucket_bytes, model_bytes - i * self.bucket_bytes),
+                self.cluster,
+                degradation,
             )
             for i in range(n_buckets)
         )
@@ -247,5 +339,14 @@ class DDPTimelineModel:
             "n_buckets": n_buckets,
         }
 
-    def epoch_time(self, model_bytes: float, compute_seconds: float, n_iterations: int) -> float:
-        return self.iteration_time(model_bytes, compute_seconds)["iteration"] * n_iterations
+    def epoch_time(
+        self,
+        model_bytes: float,
+        compute_seconds: float,
+        n_iterations: int,
+        degradation: float = 1.0,
+    ) -> float:
+        return (
+            self.iteration_time(model_bytes, compute_seconds, degradation)["iteration"]
+            * n_iterations
+        )

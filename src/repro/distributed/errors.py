@@ -1,0 +1,54 @@
+"""Typed exception hierarchy for the distributed simulator.
+
+A collective that exhausts its retry budget must fail loudly with a
+:class:`CollectiveTimeoutError` — never hang or hand back a partial sum —
+so chaos tests can assert the failure mode and callers can implement
+their own recovery policy on top.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DistributedError",
+    "FaultSpecError",
+    "CollectiveTimeoutError",
+    "AllWorkersLostError",
+]
+
+
+class DistributedError(Exception):
+    """Base class for every error raised by :mod:`repro.distributed`."""
+
+
+class FaultSpecError(DistributedError, ValueError):
+    """A fault-injection spec string/dict could not be parsed or validated."""
+
+
+class CollectiveTimeoutError(DistributedError, TimeoutError):
+    """A collective exhausted its retry budget for one logical message.
+
+    Attributes
+    ----------
+    op: collective name (``"allreduce"``, ``"allgather"``, ``"push"``, ...).
+    iteration: simulator iteration the collective ran in.
+    attempts: total send attempts made (1 initial + retries).
+    elapsed_s: modeled seconds burnt on timeouts + backoff before giving up.
+    """
+
+    def __init__(self, op: str, iteration: int, attempts: int, elapsed_s: float):
+        self.op = op
+        self.iteration = iteration
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        super().__init__(
+            f"collective {op!r} timed out at iteration {iteration} after "
+            f"{attempts} attempts ({elapsed_s:.3f}s of timeouts/backoff)"
+        )
+
+
+class AllWorkersLostError(DistributedError, RuntimeError):
+    """Every worker in the simulated cluster failed; training cannot continue."""
+
+    def __init__(self, iteration: int):
+        self.iteration = iteration
+        super().__init__(f"all workers failed by iteration {iteration}")

@@ -97,3 +97,47 @@ class TestSimulateCommand:
             "--iterations", "1",
         ])
         assert rc == 0
+
+
+class TestSimulateFaults:
+    def test_faulty_simulation_prints_summary(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "4",
+            "--batch-size", "8", "--iterations", "2",
+            "--faults", "seed=42,straggler=lognormal:0.5:0.4:1.0,drop=0.05:8:0.02:0.01",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults (seed 42)" in out
+        assert "retries" in out
+
+    def test_inert_spec_prints_no_fault_summary(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "1",
+            "--faults", "seed=7",
+        ])
+        assert rc == 0
+        assert "faults (seed" not in capsys.readouterr().out
+
+    def test_json_file_spec(self, tmp_path, capsys):
+        spec = tmp_path / "chaos.json"
+        spec.write_text(
+            '{"seed": 5, "straggler": {"kind": "constant", "prob": 1.0, "scale": 0.5}}'
+        )
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "1",
+            "--faults", str(spec),
+        ])
+        assert rc == 0
+        assert "faults (seed 5)" in capsys.readouterr().out
+
+    def test_bad_spec_exits_2(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "1",
+            "--faults", "straggler=warp9",
+        ])
+        assert rc == 2
+        assert "bad --faults spec" in capsys.readouterr().err

@@ -4,6 +4,15 @@ import numpy as np
 
 from repro.core import FactorizationConfig, PufferfishTrainer, Trainer, build_hybrid
 from repro.data import DataLoader, make_cifar_like, make_lm_corpus, make_translation_dataset
+from repro.distributed import (
+    ClusterSpec,
+    DistributedTrainer,
+    DropSpec,
+    FailureSpec,
+    FaultSpec,
+    LinkSpec,
+    StragglerSpec,
+)
 from repro.models import MLP, resnet18, vgg11
 from repro.optim import SGD
 from repro.tensor import Tensor
@@ -104,6 +113,91 @@ class TestSeededTraining:
         h2, _ = build_hybrid(model, resnet18_hybrid_config(model))
         for (n1, p1), (n2, p2) in zip(h1.named_parameters(), h2.named_parameters()):
             assert np.array_equal(p1.data, p2.data), n1
+
+
+class TestFaultInjectionDeterminism:
+    """Regression: a fault seed fully determines the chaos a run sees."""
+
+    CHAOS = FaultSpec(
+        seed=1234,
+        straggler=StragglerSpec(kind="lognormal", prob=0.4, scale=0.5, sigma=1.0),
+        link=LinkSpec(prob=0.15, factor=0.3, duration=2),
+        drop=DropSpec(prob=0.05, max_retries=6, timeout_s=0.02, backoff_base_s=0.01),
+        failure=FailureSpec(prob=0.05, recovery="rejoin", recovery_s=0.5),
+    )
+
+    def _train_with_faults(self, fault_seed):
+        set_seed(33)
+        rng = np.random.default_rng(33)
+        n_nodes = 4
+        loaders = []
+        for _ in range(n_nodes):
+            ds = make_cifar_like(n=32, num_classes=3, rng=rng)
+            loaders.append(DataLoader(ds.images, ds.labels, 8, shuffle=False))
+        model = MLP(3 * 32 * 32, [16], 3)
+        spec = FaultSpec.from_dict({**self.CHAOS.to_dict(), "seed": fault_seed})
+        trainer = DistributedTrainer(
+            model,
+            SGD(model.parameters(), lr=0.05),
+            ClusterSpec(num_nodes=n_nodes, bandwidth_gbps=1.0, latency_s=50e-6),
+            faults=spec,
+        )
+        timelines = [trainer.train_epoch(loaders) for _ in range(3)]
+        events = [e.as_dict() for e in trainer.faults.events]
+        return model.state_dict(), timelines, events
+
+    @staticmethod
+    def _modeled(timelines):
+        # compute/encode/decode are wall-clock measurements; the modeled
+        # (seed-determined) quantities are comm, other, and the fault log.
+        keys = ("comm", "other", "faults")
+        return [
+            {k: t.as_dict().get(k) for k in keys} for t in timelines
+        ]
+
+    def test_same_fault_seed_identical_timeline_and_weights(self):
+        sd1, tl1, ev1 = self._train_with_faults(77)
+        sd2, tl2, ev2 = self._train_with_faults(77)
+        assert ev1 == ev2
+        assert self._modeled(tl1) == self._modeled(tl2)
+        for k in sd1:
+            assert np.array_equal(sd1[k], sd2[k])
+
+    def test_different_fault_seed_different_timeline(self):
+        _, tl1, ev1 = self._train_with_faults(77)
+        _, tl2, ev2 = self._train_with_faults(78)
+        assert ev1 != ev2 or self._modeled(tl1) != self._modeled(tl2)
+
+    def test_faults_off_is_bit_identical_to_pre_fault_path(self):
+        """faults=None must not perturb the numerics or the timeline shape."""
+
+        def run(faults):
+            set_seed(5)
+            rng = np.random.default_rng(5)
+            loaders = []
+            for _ in range(2):
+                ds = make_cifar_like(n=16, num_classes=3, rng=rng)
+                loaders.append(DataLoader(ds.images, ds.labels, 8, shuffle=False))
+            model = MLP(3 * 32 * 32, [8], 3)
+            trainer = DistributedTrainer(
+                model,
+                SGD(model.parameters(), lr=0.05),
+                ClusterSpec(num_nodes=2, bandwidth_gbps=1.0, latency_s=50e-6),
+                faults=faults,
+            )
+            tl = trainer.train_epoch(loaders)
+            return model.state_dict(), tl.as_dict()
+
+        sd_off, tl_off = run(None)
+        sd_inert, tl_inert = run(FaultSpec(seed=99))  # spec with no active faults
+        assert "faults" not in tl_off
+        # Modeled quantities match exactly; wall-clock fields (compute,
+        # encode, decode) are excluded — they vary between any two runs.
+        for key in ("comm", "other"):
+            assert tl_off[key] == tl_inert[key]
+        assert set(tl_off) == set(tl_inert)
+        for k in sd_off:
+            assert np.array_equal(sd_off[k], sd_inert[k])
 
 
 class TestDropoutDeterminism:
