@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""CI regression gate for the benchmark-smoke observability artifact.
+
+Compares the ``BENCH_observability.json`` left behind by the CI smoke
+selection (``pytest benchmarks -k "table1 or fast"``) against the
+committed baseline
+(``benchmarks/baselines/observability_baseline.json``).
+
+What is gated:
+
+* every baseline record (table/series) must still be produced, with
+  identical headers — a silently vanished table means a benchmark
+  stopped reporting;
+* **exact columns** — closed-form arithmetic (parameter counts, MAC
+  counts and formulas from Table 1) must match the baseline exactly;
+  these are model-structure facts, not measurements;
+* **modeled time columns** (α–β cost-model seconds, e.g. "Comm (s)")
+  must stay within the threshold (default 20%).
+
+Wall-clock columns ("Mean (s)", epoch seconds, speedups) are machine
+noise and are deliberately not compared.
+
+Usage::
+
+    python benchmarks/check_observability_regression.py \
+        [--current BENCH_observability.json] \
+        [--baseline benchmarks/baselines/observability_baseline.json] \
+        [--threshold 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Column headers whose values are exact model-structure arithmetic.
+EXACT_HEADERS = {
+    "#Params",
+    "#Params (lib)",
+    "#Params (formula)",
+    "MACs (measured)",
+    "MACs (formula)",
+    "Formula",
+    "Events",
+    "Retries",
+}
+# Column headers carrying modeled (cost-model) seconds: threshold-gated.
+MODELED_TIME_HEADERS = {"Comm (s)"}
+
+
+def _rows_by_label(record: dict) -> dict:
+    return {str(row[0]): row for row in record.get("rows", [])}
+
+
+def check_table(title: str, cur: dict, base: dict, threshold: float) -> list[str]:
+    failures = []
+    if cur.get("headers") != base.get("headers"):
+        failures.append(
+            f"{title}: headers changed {base.get('headers')} -> {cur.get('headers')}"
+        )
+        return failures
+    headers = base["headers"]
+    cur_rows = _rows_by_label(cur)
+    for label, base_row in _rows_by_label(base).items():
+        cur_row = cur_rows.get(label)
+        if cur_row is None:
+            failures.append(f"{title}: row {label!r} missing from current run")
+            continue
+        for i, header in enumerate(headers):
+            if header in EXACT_HEADERS:
+                if cur_row[i] != base_row[i]:
+                    failures.append(
+                        f"{title} [{label}].{header}: {cur_row[i]} != "
+                        f"baseline {base_row[i]} (closed-form value changed)"
+                    )
+            elif header in MODELED_TIME_HEADERS:
+                b, c = float(base_row[i]), float(cur_row[i])
+                lo, hi = b * (1.0 - threshold), b * (1.0 + threshold)
+                if not (lo <= c <= hi):
+                    failures.append(
+                        f"{title} [{label}].{header}: {c:.6f} outside "
+                        f"[{lo:.6f}, {hi:.6f}] (baseline {b:.6f} ±{threshold:.0%})"
+                    )
+    return failures
+
+
+def check(current: dict, baseline: dict, threshold: float) -> list[str]:
+    failures = []
+    cur_records = {r["title"]: r for r in current.get("records", [])}
+    for base_rec in baseline.get("records", []):
+        title = base_rec["title"]
+        cur_rec = cur_records.get(title)
+        if cur_rec is None:
+            failures.append(f"{title}: record missing from current run")
+            continue
+        if cur_rec["kind"] != base_rec["kind"]:
+            failures.append(
+                f"{title}: kind changed {base_rec['kind']} -> {cur_rec['kind']}"
+            )
+            continue
+        if base_rec["kind"] == "table":
+            failures.extend(check_table(title, cur_rec, base_rec, threshold))
+        elif base_rec["kind"] == "series":
+            base_series = base_rec.get("series", {})
+            cur_series = cur_rec.get("series", {})
+            for name, values in base_series.items():
+                if name not in cur_series:
+                    failures.append(f"{title}: series {name!r} missing")
+                elif len(cur_series[name]) != len(values):
+                    failures.append(
+                        f"{title}: series {name!r} length {len(cur_series[name])} "
+                        f"!= baseline {len(values)}"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", default="BENCH_observability.json")
+    ap.add_argument(
+        "--baseline", default="benchmarks/baselines/observability_baseline.json"
+    )
+    ap.add_argument("--threshold", type=float, default=0.20)
+    args = ap.parse_args(argv)
+
+    for path in (args.current, args.baseline):
+        if not Path(path).exists():
+            print(f"observability regression gate: missing {path}", file=sys.stderr)
+            return 2
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    failures = check(current, baseline, args.threshold)
+    n = len(baseline.get("records", []))
+    if failures:
+        print(
+            f"observability regression gate: {len(failures)} failure(s) "
+            f"across {n} records"
+        )
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(
+        f"observability regression gate: {n} records consistent with baseline "
+        f"(exact columns matched, modeled times within {args.threshold:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,9 +86,14 @@ def _make_compressor(name: str, num_workers: int):
 def cmd_train(args) -> int:
     from .core import PufferfishTrainer, Trainer
     from .data import DataLoader, make_cifar_like
-    from .optim import SGD, MultiStepLR
+    from .optim import SGD, FusedSGD, MultiStepLR
     from .utils import Logger, set_seed
 
+    if args.fused and args.amp:
+        # The AMP cast round-trip rebinds every p.data each batch, which
+        # would rebuild the arena (and reset momentum) every step.
+        print("--fused is incompatible with --amp", file=sys.stderr)
+        return 2
     set_seed(args.seed)
     rng = np.random.default_rng(args.seed)
     ds = make_cifar_like(n=args.samples, num_classes=args.classes, noise=args.noise, rng=rng)
@@ -98,7 +103,8 @@ def cmd_train(args) -> int:
 
     model = _make_model(args.model, args.classes, args.width)
     logger = Logger(args.model)
-    opt_factory = lambda ps: SGD(ps, lr=args.lr, momentum=0.9, weight_decay=1e-4)
+    opt_cls = FusedSGD if args.fused else SGD
+    opt_factory = lambda ps: opt_cls(ps, lr=args.lr, momentum=0.9, weight_decay=1e-4)
     sched_factory = lambda opt: MultiStepLR(opt, [int(0.75 * args.epochs)], gamma=0.1)
 
     if args.method == "pufferfish":
@@ -172,9 +178,17 @@ def cmd_simulate(args) -> int:
         FaultSpecError,
         parse_fault_spec,
     )
-    from .optim import SGD
+    from .optim import SGD, FusedSGD
     from .utils import set_seed
 
+    if args.overlap and args.compressor != "none":
+        print(
+            "--overlap requires --compressor none: explicit compressors "
+            "must wait for the full gradient before encoding, so their "
+            "communication cannot overlap the backward pass",
+            file=sys.stderr,
+        )
+        return 2
     faults = None
     if args.faults:
         try:
@@ -196,11 +210,16 @@ def cmd_simulate(args) -> int:
     loaders = [DataLoader(x, y, args.batch_size) for x, y in shards]
 
     cluster = ClusterSpec(args.nodes, bandwidth_gbps=args.bandwidth)
-    opt = SGD(model.parameters(), lr=args.lr, momentum=0.9)
+    # FusedSGD is bit-exact vs the per-tensor loop here (every parameter
+    # receives an averaged gradient), so the fast path is the default.
+    opt_cls = FusedSGD if args.fused else SGD
+    opt = opt_cls(model.parameters(), lr=args.lr, momentum=0.9)
     trainer = DistributedTrainer(
         model, opt, cluster,
         compressor=_make_compressor(args.compressor, args.nodes),
         faults=faults,
+        overlap=args.overlap,
+        bucket_mb=args.bucket_mb,
     )
     try:
         tl = trainer.train_epoch(loaders)
@@ -212,6 +231,11 @@ def cmd_simulate(args) -> int:
     print(f"compute {tl.compute:.3f}s | encode {tl.encode:.3f}s | "
           f"comm {tl.comm:.3f}s | decode {tl.decode:.3f}s | total {tl.total:.3f}s")
     print(f"wire bytes per iteration: {tl.bytes_per_iteration/1e6:.2f} MB")
+    if tl.overlap:
+        ov = tl.overlap
+        print(f"overlap: {ov['n_buckets']} buckets @ {ov['bucket_bytes']/1e6:.2f} MB | "
+              f"comm raw {ov['comm_total_s']:.3f}s -> exposed {ov['comm_exposed_s']:.3f}s "
+              f"({ov['overlap_fraction']:.1%} hidden)")
     if trainer.faults is not None and trainer.faults.spec.active:
         s = trainer.faults.summary()
         kinds = ", ".join(f"{k}={v}" for k, v in sorted(s["by_kind"].items())) or "none"
@@ -272,16 +296,30 @@ def _profile_simulate(args):
         SGD(model.parameters(), lr=0.05, momentum=0.9),
         cluster,
         compressor=_make_compressor(args.compressor, args.nodes),
+        overlap=args.overlap,
+        bucket_mb=args.bucket_mb,
     )
     tl = trainer.train_epoch(loaders)
     print(f"timeline: compute {tl.compute:.3f}s | encode {tl.encode:.3f}s | "
           f"comm {tl.comm:.3f}s | decode {tl.decode:.3f}s")
+    if tl.overlap:
+        ov = tl.overlap
+        print(f"overlap: {ov['n_buckets']} buckets | "
+              f"{ov['overlap_fraction']:.1%} of comm hidden")
     return []
 
 
 def cmd_profile(args) -> int:
     from . import observability as obs
 
+    if args.target == "simulate" and args.overlap and args.compressor != "none":
+        print(
+            "--overlap requires --compressor none: explicit compressors "
+            "must wait for the full gradient before encoding, so their "
+            "communication cannot overlap the backward pass",
+            file=sys.stderr,
+        )
+        return 2
     tracer = obs.get_tracer()
     registry = obs.get_registry()
     tracer.clear()
@@ -349,6 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--samples", type=int, default=512)
     p_train.add_argument("--noise", type=float, default=0.2)
     p_train.add_argument("--amp", action="store_true", help="mixed-precision emulation")
+    p_train.add_argument("--fused", action="store_true",
+                         help="fused flat-arena SGD updates (bit-exact when every "
+                              "parameter gets a gradient; incompatible with --amp)")
     p_train.add_argument("--checkpoint", default=None, help="write final .npz checkpoint")
     p_train.set_defaults(func=cmd_train)
 
@@ -366,6 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--iterations", type=int, default=2)
     p_sim.add_argument("--lr", type=float, default=0.05)
     p_sim.add_argument("--noise", type=float, default=0.2)
+    p_sim.add_argument("--overlap", action="store_true",
+                       help="bucketed allreduce overlapped with backward "
+                            "(requires --compressor none)")
+    p_sim.add_argument("--bucket-mb", type=float, default=25.0,
+                       help="gradient bucket size cap in MB (DDP default 25)")
+    p_sim.add_argument("--fused", action=argparse.BooleanOptionalAction, default=True,
+                       help="fused flat-arena SGD updates (bit-exact; --no-fused "
+                            "for the per-tensor loop)")
     p_sim.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="fault-injection spec: JSON file/string or compact form, e.g. "
@@ -392,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--compressor", choices=COMPRESSORS, default="powersgd",
                         help="simulate: gradient compressor")
     p_prof.add_argument("--iterations", type=int, default=2, help="simulate: iterations")
+    p_prof.add_argument("--overlap", action="store_true",
+                        help="simulate: bucketed comm/compute overlap "
+                             "(requires --compressor none)")
+    p_prof.add_argument("--bucket-mb", type=float, default=25.0,
+                        help="simulate: gradient bucket size cap in MB")
     p_prof.set_defaults(func=cmd_profile)
     return parser
 

@@ -137,6 +137,14 @@ class Trainer:
                     _metrics.REGISTRY.counters(), counters_before
                 )
                 _metrics.REGISTRY.histogram("epoch_seconds").observe(elapsed)
+                # Per-epoch training signals through the registry (the
+                # ROADMAP's "next consumer" of the metrics layer).
+                reg = _metrics.REGISTRY
+                reg.counter("trainer.epochs").inc()
+                reg.histogram("trainer.train_loss").observe(train_loss)
+                reg.histogram("trainer.val_loss").observe(val_loss)
+                reg.histogram("trainer.val_metric").observe(val_metric)
+                reg.gauge("trainer.lr").set(self.optimizer.lr)
             stats = EpochStats(
                 epoch=epoch,
                 train_loss=train_loss,

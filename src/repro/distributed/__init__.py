@@ -2,9 +2,16 @@
 collectives, per-epoch timeline breakdowns, and seeded fault injection
 (stragglers, link degradation, message drops, worker failures)."""
 
-from .cost_model import ClusterSpec, ring_allreduce_time, allgather_time, broadcast_time
+from .cost_model import (
+    ClusterSpec,
+    ring_allreduce_time,
+    allgather_time,
+    broadcast_time,
+    bucket_comm_times,
+)
 from .collectives import (
     allreduce_mean,
+    bucketed_allreduce_mean,
     allgather,
     ring_allreduce_mean,
     ring_allgather,
@@ -14,6 +21,14 @@ from .collectives import (
     assign_gradient_vector,
 )
 from .ddp import TimelineBreakdown, DistributedTrainer, DDPTimelineModel
+from .overlap import (
+    Bucket,
+    BucketEvent,
+    OverlapTimeline,
+    build_buckets,
+    schedule_overlap,
+    GradientArrivalRecorder,
+)
 from .errors import (
     AllWorkersLostError,
     CollectiveTimeoutError,
@@ -48,6 +63,14 @@ __all__ = [
     "TimelineBreakdown",
     "DistributedTrainer",
     "DDPTimelineModel",
+    "Bucket",
+    "BucketEvent",
+    "OverlapTimeline",
+    "build_buckets",
+    "schedule_overlap",
+    "GradientArrivalRecorder",
+    "bucket_comm_times",
+    "bucketed_allreduce_mean",
     "parameter_server_time",
     "BandwidthTrace",
     "effective_epoch_times",

@@ -31,6 +31,7 @@ from ..observability import metrics as _metrics
 
 __all__ = [
     "allreduce_mean",
+    "bucketed_allreduce_mean",
     "allgather",
     "ring_allreduce_mean",
     "ring_allgather",
@@ -69,6 +70,44 @@ def allreduce_mean(
     for v in worker_vectors[1:]:
         out += v
     return (out / len(worker_vectors)).astype(worker_vectors[0].dtype)
+
+
+def bucketed_allreduce_mean(
+    worker_vectors: list[np.ndarray],
+    buckets,
+    *,
+    out: np.ndarray | None = None,
+    faults=None,
+    iteration: int = 0,
+) -> np.ndarray:
+    """Per-bucket elementwise mean over flat worker vectors.
+
+    ``buckets`` is any sequence of objects with ``offset``/``size``
+    element slices (e.g. :class:`repro.distributed.overlap.Bucket`) that
+    must tile each vector exactly.  Because :func:`allreduce_mean`
+    accumulates in float64 *elementwise* in worker order, slicing the
+    reduction into buckets is bit-exact vs one monolithic call — the
+    property the overlap simulator's correctness rests on.
+    """
+    if not worker_vectors:
+        raise ValueError("no worker vectors")
+    size = worker_vectors[0].size
+    spans = sorted((int(b.offset), int(b.size)) for b in buckets)
+    expected = 0
+    for off, length in spans:
+        if off != expected:
+            raise ValueError("buckets must tile the vector exactly")
+        expected = off + length
+    if expected != size:
+        raise ValueError(f"buckets cover {expected} elements, vectors have {size}")
+    if out is None:
+        out = np.empty_like(worker_vectors[0])
+    for b in buckets:
+        sl = slice(int(b.offset), int(b.offset) + int(b.size))
+        out[sl] = allreduce_mean(
+            [v[sl] for v in worker_vectors], faults=faults, iteration=iteration
+        )
+    return out
 
 
 def allgather(worker_payloads: list, *, faults=None, iteration: int = 0) -> list:

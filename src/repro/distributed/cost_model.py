@@ -17,7 +17,13 @@ from dataclasses import dataclass
 
 from ..observability import metrics as _metrics
 
-__all__ = ["ClusterSpec", "ring_allreduce_time", "allgather_time", "broadcast_time"]
+__all__ = [
+    "ClusterSpec",
+    "ring_allreduce_time",
+    "allgather_time",
+    "broadcast_time",
+    "bucket_comm_times",
+]
 
 
 @dataclass(frozen=True)
@@ -91,6 +97,18 @@ def ring_allreduce_time(
         ("ring", float(nbytes), cluster, degradation),
         lambda: 2 * (p - 1) * cluster.latency_s + 2 * (p - 1) / p * nbytes / bps,
     )
+
+
+def bucket_comm_times(
+    bucket_nbytes, cluster: ClusterSpec, degradation: float = 1.0
+) -> list[float]:
+    """Ring-allreduce seconds for each bucket payload.
+
+    Bucket caps make most buckets identically sized across iterations, so
+    these evaluations are exactly what the memo cache is for — after the
+    first iteration every lookup is a hit.
+    """
+    return [ring_allreduce_time(nb, cluster, degradation) for nb in bucket_nbytes]
 
 
 def allgather_time(

@@ -31,9 +31,17 @@ from ..nn.module import Module
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
 from ..optim import Optimizer
-from .cost_model import ClusterSpec, allgather_time, broadcast_time, ring_allreduce_time
+from .collectives import allreduce_mean, gradient_vector
+from .cost_model import (
+    ClusterSpec,
+    allgather_time,
+    broadcast_time,
+    bucket_comm_times,
+    ring_allreduce_time,
+)
 from .errors import AllWorkersLostError
 from .faults import as_injector
+from .overlap import GradientArrivalRecorder, build_buckets, schedule_overlap
 
 __all__ = ["TimelineBreakdown", "DistributedTrainer", "DDPTimelineModel"]
 
@@ -57,6 +65,10 @@ class TimelineBreakdown:
     # Fault-injection summary (empty when no injector was attached, so the
     # no-faults breakdown is unchanged).
     faults: dict = field(default_factory=dict)
+    # Bucketed-overlap summary (empty unless the trainer ran with
+    # ``overlap=True``): raw vs exposed comm seconds, overlap_fraction,
+    # bucket count/cap.
+    overlap: dict = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -75,6 +87,8 @@ class TimelineBreakdown:
             out["metrics"] = dict(self.metrics)
         if self.faults:
             out["faults"] = dict(self.faults)
+        if self.overlap:
+            out["overlap"] = dict(self.overlap)
         return out
 
 
@@ -97,6 +111,15 @@ class DistributedTrainer:
         message drop/retry and whole-worker failure with the spec's
         recovery policy; ``None`` (the default) leaves every code path and
         timing untouched.
+    overlap: PyTorch-DDP-style wait-free backprop — size-capped gradient
+        buckets allreduce while the backward pass still runs, using each
+        parameter's *measured* gradient-arrival time.  Requires the
+        uncompressed gradient path (explicit compressors must wait for
+        the whole gradient before encoding, forfeiting the overlap — the
+        paper's Section 2/6 argument).  Numerics are bit-identical to the
+        monolithic path; only the modeled comm charge changes.
+    bucket_mb: bucket size cap in MB (torch DDP's ``bucket_cap_mb``,
+        default 25).
     """
 
     def __init__(
@@ -109,6 +132,8 @@ class DistributedTrainer:
         loss_fn=None,
         flat_allreduce: bool = True,
         faults=None,
+        overlap: bool = False,
+        bucket_mb: float = 25.0,
     ):
         from ..core.trainer import classification_batch
         from ..nn import CrossEntropyLoss
@@ -122,6 +147,20 @@ class DistributedTrainer:
             lambda m, b: classification_batch(m, b, self.loss_fn)
         )
         self.flat_allreduce = flat_allreduce
+        self.overlap = bool(overlap)
+        self.bucket_bytes = float(bucket_mb) * 1e6
+        if self.overlap and not isinstance(self.compressor, NoCompression):
+            raise ValueError(
+                "overlap=True requires the uncompressed gradient path: "
+                "explicit compressors must wait for the full gradient "
+                "before encoding, so their communication cannot overlap "
+                "the backward pass"
+            )
+        # Buckets are built lazily from the optimizer's parameter list
+        # (reverse layer order, contiguous slices of the flat vector).
+        self._buckets = None
+        # Per-iteration modeled bucket timelines (appended across epochs).
+        self.overlap_events: list[dict] = []
         self.faults = as_injector(faults)
         # Workers currently in the ring (shrink-mode failures leave
         # permanently; rejoin-mode failures miss one iteration).
@@ -181,6 +220,132 @@ class DistributedTrainer:
         if not self._active:
             raise AllWorkersLostError(iteration)
 
+    def _ensure_buckets(self):
+        if self._buckets is None:
+            self._buckets = build_buckets(
+                [p.data.size for p in self.optimizer.params], self.bucket_bytes
+            )
+        return self._buckets
+
+    def _overlap_iteration(
+        self, batches, active, iteration: int, timeline: TimelineBreakdown
+    ) -> None:
+        """One iteration with bucketed allreduce overlapping backward.
+
+        Fault-RNG parity with the monolithic path is deliberate: the same
+        ``compute_multiplier`` / ``link_factor`` / ``collective_penalty``
+        draws happen with the same keys, so a fixed seed produces an
+        identical fault event timeline with and without overlap.  Drop
+        penalties stall the whole synchronous ring, so they land once per
+        iteration as a tail penalty rather than per bucket.
+        """
+        params = self.optimizer.params
+        injector = self.faults
+        buckets = self._ensure_buckets()
+        world = len(active)
+
+        # --- compute phase: measured backward + per-bucket readiness ---
+        worker_flat: list[np.ndarray] = []
+        worker_compute: list[float] = []
+        worker_ready: list[list[float]] = []
+        gather_elapsed = 0.0
+        with _trace.span("ddp.compute", iteration=timeline.iterations):
+            for w in active:
+                self.optimizer.zero_grad()
+                with GradientArrivalRecorder(params) as rec:
+                    loss, _, _ = self.batch_fn(self.model, batches[w])
+                    loss.backward()
+                mult = 1.0
+                if injector is not None:
+                    mult = injector.compute_multiplier(iteration, w)
+                worker_compute.append(rec.total * mult)
+                arrivals = rec.arrival_times()
+                # A bucket is ready when its *last* gradient arrived; a
+                # straggler's clock stretches uniformly.
+                worker_ready.append(
+                    [
+                        max(arrivals[i] for i in b.param_indices) * mult
+                        for b in buckets
+                    ]
+                )
+                t0 = time.perf_counter()
+                worker_flat.append(gradient_vector(params))
+                gather_elapsed += time.perf_counter() - t0
+        backward_end = max(worker_compute)
+        timeline.compute += backward_end
+        # Flattening into the wire buffer plays the encode role and runs
+        # in parallel across workers, as in the monolithic path.
+        timeline.encode += gather_elapsed / len(worker_flat)
+
+        # --- modeled bucket schedule --------------------------------------
+        degradation = injector.link_factor(iteration) if injector is not None else 1.0
+        cluster = self.cluster
+        if world != cluster.num_nodes:
+            cluster = ClusterSpec(world, cluster.bandwidth_gbps, cluster.latency_s)
+        comm_times = bucket_comm_times(
+            [b.nbytes for b in buckets], cluster, degradation
+        )
+        tail = 0.0
+        if injector is not None:
+            # Same RNG keys as the monolithic allreduce: one draw per ring
+            # step per iteration, regardless of bucketing.
+            tail = injector.collective_penalty(
+                "allreduce", iteration, 2 * max(world - 1, 0)
+            )
+            tail += injector.drain_penalty()
+        ready = [max(wr[j] for wr in worker_ready) for j in range(len(buckets))]
+        sched = schedule_overlap(ready, comm_times, backward_end, tail_penalty=tail)
+        # Only the exposed (non-hidden) communication reaches the clock.
+        timeline.comm += sched.exposed
+        nbytes = worker_flat[0].nbytes
+        timeline.bytes_per_iteration = nbytes
+        if _metrics.COLLECT:
+            _metrics.REGISTRY.counter("ddp.wire_bytes").inc(int(nbytes) * world)
+
+        # --- exact numerics: per-bucket mean (bit-exact vs monolithic) ----
+        agg = np.empty_like(worker_flat[0])
+        t0 = time.perf_counter()
+        for b, ev, comm in zip(buckets, sched.events, comm_times):
+            with _trace.span(
+                "ddp.bucket",
+                iteration=timeline.iterations,
+                bucket=b.index,
+                nbytes=b.nbytes,
+                ready_s=ev.ready,
+                start_s=ev.start,
+                end_s=ev.end,
+            ):
+                sl = slice(b.offset, b.offset + b.size)
+                agg[sl] = allreduce_mean([v[sl] for v in worker_flat])
+        timeline.decode += time.perf_counter() - t0
+
+        self.overlap_events.append(
+            {
+                "iteration": iteration,
+                "backward_end_s": backward_end,
+                "comm_total_s": sched.comm_total,
+                "comm_exposed_s": sched.exposed,
+                "tail_penalty_s": tail,
+                "buckets": [
+                    {**ev.as_dict(), "nbytes": b.nbytes, "comm_s": comm}
+                    for b, ev, comm in zip(buckets, sched.events, comm_times)
+                ],
+            }
+        )
+
+        # --- apply ---------------------------------------------------------
+        with _trace.span("ddp.step", iteration=timeline.iterations):
+            offset = 0
+            for p in params:
+                size = p.data.size
+                p.grad = agg[offset : offset + size].reshape(p.data.shape)
+                offset += size
+            step_flat = getattr(self.optimizer, "step_flat", None)
+            if step_flat is not None:
+                step_flat(agg)
+            else:
+                self.optimizer.step()
+
     def train_epoch(self, worker_loaders: list) -> TimelineBreakdown:
         """One synchronized epoch over per-worker shard loaders.
 
@@ -194,6 +359,7 @@ class DistributedTrainer:
         params = self.optimizer.params
         injector = self.faults
         counters_before = _metrics.REGISTRY.counters() if _metrics.COLLECT else None
+        epoch_events_start = len(self.overlap_events)
 
         for batches in zip(*[iter(dl) for dl in worker_loaders]):
             iteration = self._global_iteration
@@ -202,6 +368,12 @@ class DistributedTrainer:
                 active: list[int] | range = list(self._active)
             else:
                 active = range(len(batches))
+
+            if self.overlap:
+                self._overlap_iteration(batches, active, iteration, timeline)
+                timeline.iterations += 1
+                self._global_iteration += 1
+                continue
 
             # --- compute phase: each worker's forward/backward ---------
             worker_grads: list[list[np.ndarray]] = []
@@ -278,10 +450,34 @@ class DistributedTrainer:
             timeline.iterations += 1
             self._global_iteration += 1
 
+        if self.overlap and timeline.iterations:
+            events = self.overlap_events[epoch_events_start:]
+            comm_total = sum(e["comm_total_s"] for e in events)
+            exposed = sum(e["comm_exposed_s"] for e in events)
+            fraction = 1.0 if comm_total <= 0 else (comm_total - exposed) / comm_total
+            timeline.overlap = {
+                "n_buckets": len(self._buckets),
+                "bucket_bytes": self.bucket_bytes,
+                "comm_total_s": comm_total,
+                "comm_exposed_s": exposed,
+                "comm_hidden_s": comm_total - exposed,
+                "overlap_fraction": fraction,
+            }
+            if _metrics.COLLECT:
+                _metrics.REGISTRY.gauge("ddp.overlap_fraction").set(fraction)
+                _metrics.REGISTRY.gauge("ddp.n_buckets").set(float(len(self._buckets)))
         if counters_before is not None:
             timeline.metrics = _metrics.diff_counters(
                 _metrics.REGISTRY.counters(), counters_before
             )
+            # Per-epoch comm/compute split for the observability registry
+            # (the ROADMAP's "next consumer" of the metrics layer).
+            _metrics.REGISTRY.histogram("ddp.epoch_compute_s").observe(timeline.compute)
+            _metrics.REGISTRY.histogram("ddp.epoch_comm_s").observe(timeline.comm)
+            if timeline.total > 0:
+                _metrics.REGISTRY.gauge("ddp.comm_fraction").set(
+                    timeline.comm / timeline.total
+                )
         if injector is not None and injector.spec.active:
             timeline.faults = injector.summary()
         return timeline

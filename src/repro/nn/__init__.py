@@ -1,6 +1,7 @@
 """Neural-network layers built on the :mod:`repro.tensor` autograd engine."""
 
 from .module import Module, Parameter
+from .arena import ParameterArena
 from .linear import Linear
 from .conv import Conv2d
 from .norm import BatchNorm2d, BatchNorm1d, LayerNorm
@@ -24,6 +25,7 @@ from . import init
 __all__ = [
     "Module",
     "Parameter",
+    "ParameterArena",
     "Linear",
     "Conv2d",
     "BatchNorm2d",

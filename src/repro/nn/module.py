@@ -167,7 +167,10 @@ class Module:
                         f"shape mismatch for {key}: "
                         f"{params[key].data.shape} vs {value.shape}"
                     )
-                params[key].data = value.astype(params[key].data.dtype, copy=True)
+                # In-place copy (not a rebind) so views into a flat
+                # parameter arena stay aliased; assignment casts like the
+                # previous ``astype`` did.
+                params[key].data[...] = value
             elif key in buffers:
                 self._assign_buffer(key, value)
             elif strict:

@@ -2,6 +2,7 @@
 
 from .optimizer import Optimizer, clip_grad_norm
 from .sgd import SGD
+from .fused import FusedSGD
 from .adam import Adam
 from .lr_scheduler import (
     MultiStepLR,
@@ -15,6 +16,7 @@ __all__ = [
     "Optimizer",
     "clip_grad_norm",
     "SGD",
+    "FusedSGD",
     "Adam",
     "MultiStepLR",
     "LinearWarmup",

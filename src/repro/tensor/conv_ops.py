@@ -20,6 +20,26 @@ def _out_size(size: int, k: int, stride: int, pad: int) -> int:
     return (size + 2 * pad - k) // stride + 1
 
 
+# Scratch buffers for col2im's padded accumulator, keyed by (shape, dtype).
+# Backward passes call col2im with the same few shapes every iteration;
+# reusing the accumulator avoids a large zeroed allocation (and its
+# mmap/page-fault churn) per call.  Training is single-threaded, and the
+# buffer never escapes: callers receive a copy of the inner region.
+_COL2IM_SCRATCH: dict[tuple, np.ndarray] = {}
+_COL2IM_SCRATCH_MAX = 16
+
+
+def _col2im_scratch(shape: tuple[int, ...], dtype) -> np.ndarray:
+    key = (shape, np.dtype(dtype).str)
+    buf = _COL2IM_SCRATCH.get(key)
+    if buf is None:
+        if len(_COL2IM_SCRATCH) >= _COL2IM_SCRATCH_MAX:
+            _COL2IM_SCRATCH.clear()
+        buf = _COL2IM_SCRATCH[key] = np.empty(shape, dtype=dtype)
+    buf.fill(0)
+    return buf
+
+
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
     """Rearrange image patches into columns.
 
@@ -35,6 +55,11 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray
     n, c, h, w = x.shape
     out_h = _out_size(h, kh, stride, pad)
     out_w = _out_size(w, kw, stride, pad)
+    if kh == 1 and kw == 1 and stride == 1 and pad == 0:
+        # 1×1 convs — the Pufferfish factorized V-factor hot path — have
+        # one pixel per receptive field: the transform is a pure
+        # transpose, no window view, no pad copy.
+        return np.ascontiguousarray(x.transpose(0, 2, 3, 1).reshape(n * h * w, c))
     if pad > 0:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
 
@@ -59,13 +84,26 @@ def col2im(
     stride: int,
     pad: int,
 ) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add columns back to image layout."""
+    """Adjoint of :func:`im2col`: scatter-add columns back to image layout.
+
+    The returned array is always freshly owned by the caller (gradients
+    returned here are stored directly by ``Tensor._accumulate``); the
+    padded accumulator itself is a reused scratch buffer.
+    """
     n, c, h, w = x_shape
     out_h = _out_size(h, kh, stride, pad)
     out_w = _out_size(w, kw, stride, pad)
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    if kh == 1 and kw == 1 and stride == 1 and pad == 0:
+        # 1×1 adjoint: windows never overlap, so the scatter-add is a
+        # plain transpose back to NCHW.
+        return np.ascontiguousarray(cols.reshape(n, h, w, c).transpose(0, 3, 1, 2))
 
     cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    if pad > 0:
+        padded = _col2im_scratch((n, c, h + 2 * pad, w + 2 * pad), cols.dtype)
+    else:
+        # No pad: the accumulator is the result, so it must be fresh.
+        padded = np.zeros((n, c, h, w), dtype=cols.dtype)
     # Accumulate each kernel offset in a vectorized slab assignment.
     for i in range(kh):
         i_max = i + stride * out_h
@@ -73,7 +111,7 @@ def col2im(
             j_max = j + stride * out_w
             padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, :, :, i, j]
     if pad > 0:
-        return padded[:, :, pad : pad + h, pad : pad + w]
+        return np.ascontiguousarray(padded[:, :, pad : pad + h, pad : pad + w])
     return padded
 
 

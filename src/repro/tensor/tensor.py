@@ -17,6 +17,7 @@ Gradients are stored in the same dtype as the data (float32 by default).
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -32,6 +33,14 @@ DEFAULT_DTYPE = np.float32
 # ---------------------------------------------------------------------------
 
 _GRAD_ENABLED = True
+
+# Optional observer called as ``GRAD_ARRIVAL_HOOK(tensor)`` the moment a
+# leaf's gradient is first materialized during backward.  The DDP overlap
+# simulator installs one to measure when each parameter's gradient becomes
+# ready (the signal that lets a gradient bucket start communicating while
+# the rest of the backward pass still runs).  ``None`` (the default) costs
+# a single global read on the first accumulation per tensor.
+GRAD_ARRIVAL_HOOK = None
 
 
 class no_grad:
@@ -83,7 +92,17 @@ class Tensor:
         Whether gradients should be accumulated into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op", "_seq")
+
+    # Monotonic creation counter.  Backward executes nodes in reverse
+    # creation order — a valid topological order (an op's parents always
+    # exist before its output) that also keeps execution *layer-local*:
+    # side branches such as the ``weight.T`` node inside Linear run right
+    # after the op that consumed them, so leaf gradients materialize in
+    # reverse layer order instead of piling up at the end of the pass.
+    # The DDP overlap simulator's measured bucket-ready times depend on
+    # this promptness.
+    _seq_counter = itertools.count()
 
     def __init__(self, data, requires_grad: bool = False, dtype=None):
         arr = np.asarray(data, dtype=dtype)
@@ -95,6 +114,7 @@ class Tensor:
         self._parents: tuple[Tensor, ...] = ()
         self._backward: Callable[[np.ndarray], None] | None = None
         self._op: str = ""
+        self._seq: int = next(Tensor._seq_counter)
 
     # ------------------------------------------------------------------
     # Graph plumbing
@@ -127,6 +147,8 @@ class Tensor:
             grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
+            if GRAD_ARRIVAL_HOOK is not None:
+                GRAD_ARRIVAL_HOOK(self)
         else:
             self.grad += grad
 
@@ -140,29 +162,33 @@ class Tensor:
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=self.data.dtype)
 
-        # Topological order via iterative DFS (recursion would overflow on
-        # deep nets such as ResNet-50).
+        # Reachable set via iterative DFS (recursion would overflow on
+        # deep nets such as ResNet-50), then execute in reverse *creation*
+        # order.  Creation order is a topological order of the recorded
+        # graph (parents exist before their outputs), and unlike DFS
+        # postorder it keeps execution layer-local: side branches like
+        # Linear's ``weight.T`` run immediately after their consumer, so
+        # leaf gradients arrive in reverse layer order — the property the
+        # DDP bucket-overlap measurement relies on.
         topo: list[Tensor] = []
         visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        stack: list[Tensor] = [self]
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
+            node = stack.pop()
             if id(node) in visited:
                 continue
             visited.add(id(node))
-            stack.append((node, True))
+            topo.append(node)
             for p in node._parents:
                 if id(p) not in visited:
-                    stack.append((p, False))
+                    stack.append(p)
+        topo.sort(key=lambda t: t._seq, reverse=True)
 
-        # Seed and propagate in reverse topological order.  Gradients flow
-        # through ``grad`` buffers on each node; intermediate buffers are
-        # released as soon as a node has been processed.
+        # Seed and propagate.  Gradients flow through ``grad`` buffers on
+        # each node; intermediate buffers are released as soon as a node
+        # has been processed.
         self._accumulate_out(grad)
-        for node in reversed(topo):
+        for node in topo:
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
                 if node is not self and not node._is_leaf():
@@ -171,6 +197,8 @@ class Tensor:
     def _accumulate_out(self, grad: np.ndarray) -> None:
         if self.grad is None:
             self.grad = grad.copy()
+            if GRAD_ARRIVAL_HOOK is not None:
+                GRAD_ARRIVAL_HOOK(self)
         else:
             self.grad += grad
 

@@ -99,6 +99,66 @@ class TestSimulateCommand:
         assert rc == 0
 
 
+class TestSimulateOverlap:
+    def test_overlap_prints_bucket_summary(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "2",
+            "--overlap", "--bucket-mb", "0.05",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlap:" in out and "buckets" in out and "hidden" in out
+
+    def test_overlap_composes_with_faults(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "4",
+            "--batch-size", "8", "--iterations", "2",
+            "--overlap", "--bucket-mb", "0.05",
+            "--faults", "seed=42,straggler=lognormal:0.5:0.4:1.0,drop=0.05",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlap:" in out
+        assert "faults (seed 42)" in out
+
+    def test_overlap_rejects_compressor(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "1",
+            "--overlap", "--compressor", "topk",
+        ])
+        assert rc == 2
+        assert "overlap" in capsys.readouterr().err
+
+    def test_no_fused_flag_runs_per_tensor_path(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "1", "--no-fused",
+        ])
+        assert rc == 0
+
+
+class TestTrainFused:
+    def test_fused_training(self, capsys):
+        rc = main([
+            "train", "--model", "mlp", "--method", "vanilla",
+            "--epochs", "1", "--samples", "64", "--batch-size", "32",
+            "--fused",
+        ])
+        assert rc == 0
+        assert "best val accuracy" in capsys.readouterr().out
+
+    def test_fused_rejects_amp(self, capsys):
+        rc = main([
+            "train", "--model", "mlp", "--method", "vanilla",
+            "--epochs", "1", "--samples", "64", "--batch-size", "32",
+            "--fused", "--amp",
+        ])
+        assert rc == 2
+        assert "amp" in capsys.readouterr().err
+
+
 class TestSimulateFaults:
     def test_faulty_simulation_prints_summary(self, capsys):
         rc = main([

@@ -478,6 +478,46 @@ class TestTrainerIntegration:
         (stats,) = trainer.history
         assert stats.metrics and stats.metrics["gemm_calls"] > 0
 
+    def test_trainer_epoch_metrics_in_registry(self, rng):
+        from repro.core import Trainer
+        from repro.nn import Linear
+        from repro.optim import SGD
+
+        model = Linear(6, 3)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        loader = _tiny_loader(rng)
+        with obs.observe():
+            trainer.fit(loader, loader, epochs=2)
+        snap = obs.get_registry().snapshot()
+        assert snap["counters"]["trainer.epochs"] == 2
+        assert snap["histograms"]["trainer.train_loss"]["count"] == 2
+        assert snap["histograms"]["trainer.val_loss"]["count"] == 2
+        assert snap["gauges"]["trainer.lr"] == pytest.approx(0.1)
+
+    def test_ddp_overlap_gauges_and_spans(self, rng):
+        from repro.data import DataLoader
+        from repro.distributed import ClusterSpec, DistributedTrainer
+        from repro.models import MLP
+        from repro.optim import SGD
+
+        model = MLP(6, [8], 3)
+        x = rng.standard_normal((32, 6)).astype(np.float32)
+        y = rng.integers(0, 3, 32)
+        loaders = [DataLoader(x[i::2], y[i::2], 16) for i in range(2)]
+        trainer = DistributedTrainer(
+            model, SGD(model.parameters(), lr=0.1), ClusterSpec(2),
+            overlap=True, bucket_mb=0.0001,
+        )
+        with obs.observe():
+            timeline = trainer.train_epoch(loaders)
+        gauges = obs.get_registry().snapshot()["gauges"]
+        assert 0.0 <= gauges["ddp.overlap_fraction"] <= 1.0
+        assert gauges["ddp.n_buckets"] == len(trainer._buckets) > 1
+        assert gauges["ddp.comm_fraction"] >= 0.0
+        bucket_spans = obs.get_tracer().spans("ddp.bucket")
+        assert len(bucket_spans) == len(trainer._buckets) * timeline.iterations
+        assert all("nbytes" in s.attrs for s in bucket_spans)
+
     def test_ddp_timeline_metrics(self, rng):
         from repro.data import DataLoader
         from repro.distributed import ClusterSpec, DistributedTrainer
