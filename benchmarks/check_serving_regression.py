@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI regression gate for the serving benchmark.
+
+Compares a fresh ``BENCH_serving.json`` against the committed baseline
+(``benchmarks/baselines/serving_baseline.json``).  Two regimes:
+
+* **deterministic scenarios** (``variant_accounting``,
+  ``pinned_crossover``) are pure functions of pinned inputs — the
+  params/MACs arithmetic and the simulator grid (request counts, shed
+  counts, throughputs, timeline digests) must match the baseline
+  *exactly*; any drift is a behavior change in the registry, load
+  generator, batcher, admission controller or event loop, never noise;
+* **measured scenarios** (names starting with ``measured_``) carry this
+  host's wall-clock forward times — they are never compared to baseline;
+  instead structural invariants are enforced on the current run:
+  ``0 <= shed_rate <= 1``, ``p50 <= p95 <= p99``, positive capacity, and
+  request accounting that sums up.
+
+On top of per-scenario checks, the gate re-asserts the headline claim
+from the current artifact: the factorized profile's capacity strictly
+exceeds full-rank in the pinned sweep, and past full-rank saturation it
+sustains strictly higher throughput under the same SLO.
+
+Usage::
+
+    python benchmarks/check_serving_regression.py \
+        [--current BENCH_serving.json] \
+        [--baseline benchmarks/baselines/serving_baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+MEASURED_PREFIX = "measured_"
+
+
+def _deep_diff(cur, base, path: str, failures: list[str]) -> None:
+    """Record every leaf where ``cur`` differs from ``base``."""
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in sorted(set(base) | set(cur)):
+            if key not in cur:
+                failures.append(f"{path}.{key}: missing from current run")
+            elif key not in base:
+                failures.append(f"{path}.{key}: not in baseline (new key)")
+            else:
+                _deep_diff(cur[key], base[key], f"{path}.{key}", failures)
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            failures.append(f"{path}: length {len(cur)} != baseline {len(base)}")
+            return
+        for i, (c, b) in enumerate(zip(cur, base)):
+            _deep_diff(c, b, f"{path}[{i}]", failures)
+        return
+    if cur != base:
+        failures.append(f"{path}: {cur!r} != baseline {base!r}")
+
+
+def _check_cell_invariants(name: str, cell: dict, failures: list[str]) -> None:
+    if "shed_rate" in cell and not (0.0 <= cell["shed_rate"] <= 1.0):
+        failures.append(f"{name}: shed_rate {cell['shed_rate']} outside [0, 1]")
+    if {"p50_ms", "p95_ms", "p99_ms"} <= set(cell):
+        if not (cell["p50_ms"] <= cell["p95_ms"] <= cell["p99_ms"]):
+            failures.append(
+                f"{name}: quantiles out of order "
+                f"p50={cell['p50_ms']} p95={cell['p95_ms']} p99={cell['p99_ms']}"
+            )
+    needed = {"n_requests", "n_completed", "n_shed_admission", "n_shed_deadline"}
+    if needed <= set(cell):
+        total = cell["n_completed"] + cell["n_shed_admission"] + cell["n_shed_deadline"]
+        if total != cell["n_requests"]:
+            failures.append(
+                f"{name}: outcomes sum to {total}, not n_requests={cell['n_requests']}"
+            )
+
+
+def _check_invariants(name: str, scenario: dict, failures: list[str]) -> None:
+    if "capacity_rps" in scenario and scenario["capacity_rps"] <= 0:
+        failures.append(f"{name}: capacity_rps {scenario['capacity_rps']} not positive")
+    rates = scenario.get("rates")
+    if isinstance(rates, dict):  # top-level "rates" may just list the sweep
+        for rate, cell in rates.items():
+            _check_cell_invariants(f"{name}.rates[{rate}]", cell, failures)
+    _check_cell_invariants(name, scenario, failures)
+
+
+def _check_headline(current: dict, failures: list[str]) -> None:
+    pinned = current.get("scenarios", {}).get("pinned_crossover")
+    if pinned is None:
+        failures.append("pinned_crossover: scenario missing from current run")
+        return
+    variants = pinned.get("variants", {})
+    full, fact = variants.get("full"), variants.get("factorized")
+    if not full or not fact:
+        failures.append("pinned_crossover: needs both full and factorized variants")
+        return
+    if not fact["capacity_rps"] > full["capacity_rps"]:
+        failures.append(
+            "pinned_crossover: factorized capacity "
+            f"{fact['capacity_rps']} not above full {full['capacity_rps']}"
+        )
+    saturating = [
+        r for r in pinned.get("rates", []) if r > full["capacity_rps"]
+    ]
+    if not saturating:
+        failures.append("pinned_crossover: sweep never exceeds full-rank capacity")
+    for rate in saturating:
+        f, h = full["rates"][str(rate)], fact["rates"][str(rate)]
+        if not h["throughput_rps"] > f["throughput_rps"]:
+            failures.append(
+                f"pinned_crossover @ {rate} rps: factorized throughput "
+                f"{h['throughput_rps']} not above full {f['throughput_rps']}"
+            )
+
+
+def check(current: dict, baseline: dict) -> list[str]:
+    failures: list[str] = []
+    cur_scenarios = current.get("scenarios", {})
+    for name, base in sorted(baseline["scenarios"].items()):
+        if name.startswith(MEASURED_PREFIX):
+            continue  # machine-dependent: invariants only, below
+        cur = cur_scenarios.get(name)
+        if cur is None:
+            failures.append(f"{name}: scenario missing from current run")
+            continue
+        _deep_diff(cur, base, name, failures)
+    for name, scenario in sorted(cur_scenarios.items()):
+        _check_invariants(name, scenario, failures)
+        for sub in scenario.get("variants", {}).values():
+            _check_invariants(name, sub, failures)
+    _check_headline(current, failures)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", default="BENCH_serving.json")
+    ap.add_argument(
+        "--baseline", default="benchmarks/baselines/serving_baseline.json"
+    )
+    args = ap.parse_args(argv)
+
+    for path in (args.current, args.baseline):
+        if not Path(path).exists():
+            print(f"serving regression gate: missing {path}", file=sys.stderr)
+            return 2
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    failures = check(current, baseline)
+    n = len(baseline["scenarios"])
+    if failures:
+        print(f"serving regression gate: {len(failures)} failure(s) across {n} scenarios")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(
+        f"serving regression gate: {n} baseline scenarios OK "
+        "(deterministic exact, measured invariant-only)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

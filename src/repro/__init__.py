@@ -20,6 +20,9 @@ training framework:
 * :mod:`repro.data` — synthetic stand-ins for CIFAR-10 / ImageNet /
   WikiText-2 / WMT16.
 * :mod:`repro.metrics` — MACs, accuracy, perplexity, BLEU.
+* :mod:`repro.serve` — SLO-aware inference serving: model registry
+  (full vs factorized variants), measured latency profiles, dynamic
+  batching, admission control, and a seeded load simulator.
 
 Quickstart::
 

@@ -1,6 +1,6 @@
 """Command-line experiment runner: ``python -m repro <command> ...``.
 
-Four subcommands cover the library's main entry points:
+Five subcommands cover the library's main entry points:
 
 * ``train``     — train a model on a synthetic task, vanilla or Pufferfish.
 * ``factorize`` — print the factorization report (params, per-layer ranks,
@@ -9,6 +9,9 @@ Four subcommands cover the library's main entry points:
   compute/encode/comm/decode breakdown for a chosen compressor.
 * ``profile``   — run a workload with the observability layer enabled and
   dump a Chrome-trace timeline plus a metrics snapshot.
+* ``serve``     — serve a model variant under seeded offered load with
+  dynamic batching and SLO admission control (measured latencies,
+  deterministic timeline for a fixed seed + profile).
 
 Examples::
 
@@ -16,6 +19,7 @@ Examples::
     python -m repro factorize --model vgg19 --rank-ratio 0.25
     python -m repro simulate --model resnet18 --nodes 8 --compressor powersgd
     python -m repro profile quickstart --out trace.json
+    python -m repro serve --model vgg19 --variant factorized --rate 300 --slo-ms 150
 """
 
 from __future__ import annotations
@@ -32,37 +36,17 @@ COMPRESSORS = ("none", "powersgd", "signum", "qsgd", "topk", "binary", "atomo")
 
 
 def _make_model(name: str, num_classes: int, width: float):
-    from . import models
+    # The model table lives with the serving registry so the CLI and the
+    # serving subsystem materialize identical architectures.
+    from .serve.registry import build_model
 
-    if name == "mlp":
-        return models.MLP(3 * 32 * 32, [256, 128], num_classes)
-    if name == "vgg11":
-        return models.vgg11(num_classes=num_classes, width_mult=width)
-    if name == "vgg19":
-        return models.vgg19(num_classes=num_classes, width_mult=width)
-    if name == "resnet18":
-        return models.resnet18(num_classes=num_classes, width_mult=width)
-    if name == "resnet50":
-        return models.resnet50(num_classes=num_classes, width_mult=width, small_input=True)
-    if name == "wideresnet50":
-        return models.wide_resnet50_2(num_classes=num_classes, width_mult=width,
-                                      small_input=True)
-    raise ValueError(f"unknown model {name!r}")
+    return build_model(name, num_classes, width)
 
 
 def _hybrid_config(name: str, model, rank_ratio: float):
-    from . import models
-    from .core import FactorizationConfig
+    from .serve.registry import hybrid_config_for
 
-    if name == "vgg19":
-        return models.vgg19_hybrid_config(rank_ratio)
-    if name == "vgg11":
-        return models.vgg11_hybrid_config(rank_ratio)
-    if name == "resnet18":
-        return models.resnet18_hybrid_config(model, rank_ratio)
-    if name in ("resnet50", "wideresnet50"):
-        return models.resnet50_hybrid_config(model, rank_ratio)
-    return FactorizationConfig(rank_ratio=rank_ratio)
+    return hybrid_config_for(name, model, rank_ratio)
 
 
 def _make_compressor(name: str, num_workers: int):
@@ -242,6 +226,107 @@ def cmd_simulate(args) -> int:
         print(f"faults (seed {faults.seed}): {s['events']} events [{kinds}]")
         print(f"  retries {s['retries']} | backoff {s['backoff_s']*1e3:.1f} ms | "
               f"recovery {s['recovery_s']:.3f}s")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from . import observability as obs
+    from .serve import (
+        ArrivalSpec,
+        BatchPolicy,
+        LatencyProfile,
+        ServeConfig,
+        ServeSimulator,
+        default_registry,
+        generate_arrivals,
+        measure_latency_profile,
+    )
+
+    try:
+        spec = ArrivalSpec(
+            rate_rps=args.rate,
+            duration_s=args.duration,
+            process=args.arrival,
+            seed=args.seed,
+            burst_factor=args.burst_factor,
+            burst_prob=args.burst_prob,
+        )
+        config = ServeConfig(
+            slo_s=args.slo_ms / 1e3,
+            policy=BatchPolicy(args.max_batch, args.max_wait_ms / 1e3),
+            replicas=args.replicas,
+        )
+    except ValueError as e:
+        print(f"bad serve configuration: {e}", file=sys.stderr)
+        return 2
+
+    obs.enable_metrics()
+    try:
+        served = default_registry().materialize(
+            args.model,
+            args.variant,
+            num_classes=args.classes,
+            width=args.width,
+            rank_ratio=args.rank_ratio,
+            seed=args.seed,
+            checkpoint=args.checkpoint,
+        )
+        print(f"model: {args.model} ({args.variant}, width {args.width}) — "
+              f"{served.params:,} params, {served.macs/1e6:.1f} M MACs/example")
+        if served.factorization:
+            f = served.factorization
+            print(f"factorized: {f['params_before']:,} -> {f['params_after']:,} params "
+                  f"({f['compression']:.2f}x), {f['n_factorized']} low-rank layers")
+
+        if args.latency_profile:
+            profile = LatencyProfile.load(args.latency_profile)
+            print(f"latency profile loaded from {args.latency_profile}")
+        else:
+            profile = measure_latency_profile(
+                served.model,
+                served.input_shape,
+                repeats=args.profile_repeats,
+                meta={"model": args.model, "variant": args.variant, "width": args.width},
+            )
+        if args.save_profile:
+            profile.save(args.save_profile)
+            print(f"latency profile written to {args.save_profile}")
+        grid = "  ".join(
+            f"{b}:{t * 1e3:.1f}ms" for b, t in zip(profile.batch_sizes, profile.latency_s)
+        )
+        print(f"per-batch forward latency: {grid}")
+        print(f"single-replica capacity: {profile.capacity_rps():.0f} rps "
+              f"at batch {profile.best_batch()}")
+
+        arrivals = generate_arrivals(spec)
+        report = ServeSimulator(profile, config).run(arrivals, duration_s=args.duration)
+    finally:
+        obs.disable_metrics()
+
+    s = report.summary()
+    print(f"\noffered load: {args.rate:.0f} rps {args.arrival} x {args.duration:.0f}s "
+          f"(seed {args.seed}) -> {s['n_requests']} requests")
+    print(f"serving: {args.replicas} replica(s) | batch <= {args.max_batch} | "
+          f"wait <= {args.max_wait_ms:.0f} ms | SLO {args.slo_ms:.0f} ms")
+    print(f"completed {s['n_completed']} | shed {s['n_shed_admission']} at admission, "
+          f"{s['n_shed_deadline']} past deadline (shed rate {s['shed_rate']:.1%})")
+    print(f"throughput {s['throughput_rps']:.1f} rps | goodput {s['goodput_rps']:.1f} rps | "
+          f"SLO miss (served) {s['slo_miss_rate']:.1%}")
+    print(f"latency p50 {s['p50_ms']:.1f} ms | p95 {s['p95_ms']:.1f} ms | "
+          f"p99 {s['p99_ms']:.1f} ms")
+    print(f"batches {s['n_batches']} (mean size {s['mean_batch_size']:.1f}) | "
+          f"peak queue depth {s['queue_depth_max']}")
+    print(f"timeline digest: {s['timeline_digest']}")
+    if args.timeline:
+        import json as _json
+
+        with open(args.timeline, "w") as f:
+            _json.dump(
+                {"summary": s, "timeline": report.timeline(),
+                 "batches": [b.as_dict() for b in report.batches]},
+                f, indent=2, sort_keys=True,
+            )
+        print(f"timeline written to {args.timeline}")
     return 0
 
 
@@ -447,6 +532,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--bucket-mb", type=float, default=25.0,
                         help="simulate: gradient bucket size cap in MB")
     p_prof.set_defaults(func=cmd_profile)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a model variant under seeded load with dynamic batching "
+             "and SLO admission control",
+    )
+    common(p_serve)
+    p_serve.add_argument("--variant", choices=("full", "factorized"), default="full")
+    p_serve.add_argument("--rate", type=float, default=100.0,
+                         help="mean offered load in requests/second")
+    p_serve.add_argument("--duration", type=float, default=10.0,
+                         help="offered-load duration in (modeled) seconds")
+    p_serve.add_argument("--slo-ms", type=float, default=150.0,
+                         help="per-request latency SLO in milliseconds")
+    p_serve.add_argument("--replicas", type=int, default=1)
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="dynamic batcher max_batch_size")
+    p_serve.add_argument("--max-wait-ms", type=float, default=10.0,
+                         help="dynamic batcher deadline flush (oldest request's "
+                              "max queueing wait)")
+    p_serve.add_argument("--arrival", choices=("poisson", "bursty"), default="poisson")
+    p_serve.add_argument("--burst-factor", type=float, default=4.0,
+                         help="bursty: in-burst rate multiplier")
+    p_serve.add_argument("--burst-prob", type=float, default=0.1,
+                         help="bursty: probability a 1s window is a burst")
+    p_serve.add_argument("--checkpoint", default=None,
+                         help="load model weights from a .npz checkpoint")
+    p_serve.add_argument("--latency-profile", default=None, metavar="JSON",
+                         help="replay a saved latency profile instead of measuring "
+                              "(makes the whole run machine-independent)")
+    p_serve.add_argument("--save-profile", default=None, metavar="JSON",
+                         help="write the measured latency profile for later replay")
+    p_serve.add_argument("--profile-repeats", type=int, default=3,
+                         help="best-of-N forward timing repeats per batch size")
+    p_serve.add_argument("--timeline", default=None, metavar="JSON",
+                         help="write the full request/batch timeline")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

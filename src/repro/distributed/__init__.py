@@ -7,6 +7,7 @@ from .cost_model import (
     ring_allreduce_time,
     allgather_time,
     broadcast_time,
+    pipelined_broadcast_time,
     bucket_comm_times,
 )
 from .collectives import (
@@ -52,6 +53,7 @@ __all__ = [
     "ring_allreduce_time",
     "allgather_time",
     "broadcast_time",
+    "pipelined_broadcast_time",
     "allreduce_mean",
     "allgather",
     "ring_allreduce_mean",

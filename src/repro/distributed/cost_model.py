@@ -22,6 +22,7 @@ __all__ = [
     "ring_allreduce_time",
     "allgather_time",
     "broadcast_time",
+    "pipelined_broadcast_time",
     "bucket_comm_times",
 ]
 
@@ -140,4 +141,44 @@ def broadcast_time(
     return _cached_cost(
         ("broadcast", float(nbytes), cluster, degradation),
         lambda: rounds * (cluster.latency_s + nbytes / bps),
+    )
+
+
+def pipelined_broadcast_time(
+    chunk_nbytes, cluster: ClusterSpec, degradation: float = 1.0
+) -> float:
+    """Chunked (pipelined) binomial-tree broadcast of payload tiles.
+
+    With the payload split into chunks ``c_i`` flowing through the
+    ``L = ceil(log2 p)`` tree levels store-and-forward style, the root
+    injects chunks back to back and the last chunk drains the remaining
+    levels behind the largest chunk:
+
+        ``Σ_i (α + c_i/B)  +  (L − 1)(α + c_max/B)``
+
+    For a single chunk this is exactly :func:`broadcast_time`; for a
+    multi-chunk payload it is strictly cheaper whenever ``L > 1`` — the
+    bandwidth term is paid once plus one max-chunk tail instead of ``L``
+    times, which is why the recovery broadcast reuses the overlap
+    schedule's bucket tiling.
+    """
+    _check_degradation(degradation)
+    chunks = [float(c) for c in chunk_nbytes]
+    if not chunks:
+        raise ValueError("need at least one chunk")
+    if any(c < 0 for c in chunks):
+        raise ValueError("chunk sizes must be non-negative")
+    p = cluster.num_nodes
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    bps = cluster.bytes_per_second * degradation
+
+    def compute() -> float:
+        inject = sum(cluster.latency_s + c / bps for c in chunks)
+        tail = (rounds - 1) * (cluster.latency_s + max(chunks) / bps)
+        return inject + tail
+
+    return _cached_cost(
+        ("pipelined_broadcast", tuple(chunks), cluster, degradation), compute
     )

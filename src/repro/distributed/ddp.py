@@ -37,6 +37,7 @@ from .cost_model import (
     allgather_time,
     broadcast_time,
     bucket_comm_times,
+    pipelined_broadcast_time,
     ring_allreduce_time,
 )
 from .errors import AllWorkersLostError
@@ -210,10 +211,17 @@ class DistributedTrainer:
             self._active.remove(w)
             if spec.recovery == "rejoin":
                 # The ring stalls while the worker reloads the checkpoint
-                # and receives the current model.
-                recovery = spec.recovery_s + broadcast_time(
-                    self._model_bytes(), self.cluster
-                )
+                # and receives the current model.  With overlap enabled the
+                # state transfer reuses the bucket tiling and pipelines the
+                # tiles down the broadcast tree, instead of paying the
+                # monolithic store-and-forward cost at every tree level.
+                if self.overlap:
+                    wire = pipelined_broadcast_time(
+                        [b.nbytes for b in self._ensure_buckets()], self.cluster
+                    )
+                else:
+                    wire = broadcast_time(self._model_bytes(), self.cluster)
+                recovery = spec.recovery_s + wire
                 timeline.other += recovery
                 injector.record_recovery(iteration, w, recovery)
                 self._rejoining.append(w)

@@ -1,0 +1,88 @@
+"""Dynamic request batching (torch-serve style).
+
+Inference throughput on this substrate — like on a GPU — grows strongly
+with batch size (one im2col + one GEMM amortizes over the whole batch),
+so the server trades a bounded amount of queueing delay for it: requests
+wait in a FIFO queue until either ``max_batch_size`` of them are ready or
+the oldest has waited ``max_wait_s`` (the deadline flush).  Batch-size
+invariance of the model outputs — asserted by the inference-parity test
+suite — is what makes this transparent to clients.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Request", "BatchPolicy", "DynamicBatcher"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request on the modeled clock."""
+
+    rid: int
+    arrival_s: float
+    deadline_s: float  # arrival + SLO
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Batching knobs: flush when full, or when the oldest waited too long."""
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+class DynamicBatcher:
+    """FIFO request queue with batch-full and deadline-flush triggers.
+
+    The batcher itself is clock-free: it reports *when* the next flush is
+    due (:meth:`fill_time`, :meth:`flush_at`) and the simulator — which
+    owns the modeled clock — decides when to :meth:`take` a batch.  That
+    split keeps the batcher reusable under any event loop.
+    """
+
+    def __init__(self, policy: BatchPolicy):
+        self.policy = policy
+        self._queue: deque[Request] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, request: Request) -> None:
+        if self._queue and request.arrival_s < self._queue[-1].arrival_s:
+            raise ValueError("requests must be enqueued in arrival order")
+        self._queue.append(request)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.policy.max_batch_size
+
+    def fill_time(self) -> float:
+        """When the head batch became full (arrival of its last member).
+
+        Only meaningful when :attr:`full`; raises otherwise.
+        """
+        if not self.full:
+            raise ValueError("queue does not hold a full batch")
+        return self._queue[self.policy.max_batch_size - 1].arrival_s
+
+    def flush_at(self) -> float:
+        """Deadline-flush time for the current head request (``inf`` when
+        empty): the oldest request waits at most ``max_wait_s``."""
+        if not self._queue:
+            return math.inf
+        return self._queue[0].arrival_s + self.policy.max_wait_s
+
+    def take(self) -> list[Request]:
+        """Pop the head batch (up to ``max_batch_size`` requests)."""
+        n = min(len(self._queue), self.policy.max_batch_size)
+        return [self._queue.popleft() for _ in range(n)]

@@ -1,0 +1,111 @@
+"""Seeded open-loop load generation for the serving simulator.
+
+Request arrivals are drawn window by window with the same counter-keyed
+RNG discipline as :mod:`repro.distributed.faults`: every window's draws
+come from a generator keyed on ``(seed, kind, window_index)``, so a fixed
+seed produces the *same* arrival timeline regardless of how much of it a
+caller consumes, how many replicas serve it, or what ran before.  Two
+runs with the same :class:`ArrivalSpec` are byte-identical.
+
+Two arrival processes:
+
+* ``poisson`` — a homogeneous Poisson process at ``rate_rps`` (the
+  classic open-loop load model: clients fire independently of server
+  state).
+* ``bursty``  — a two-phase Markov-modulated Poisson process: each
+  generation window is independently a *burst* window with probability
+  ``burst_prob``, during which the rate is ``burst_factor``× the normal
+  phase.  The normal-phase rate is scaled down so the long-run mean
+  offered load still equals ``rate_rps`` — burstiness redistributes the
+  load in time, it does not add more of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArrivalSpec", "generate_arrivals"]
+
+PROCESSES = ("poisson", "bursty")
+
+# Stable event-kind ids mixed into the RNG key (same discipline as
+# repro.distributed.faults._KIND_IDS).  Appending new kinds is fine;
+# renumbering existing ones would silently change every seeded scenario.
+_KIND_IDS = {"window": 1}
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Declarative description of an offered-load scenario.
+
+    Attributes
+    ----------
+    rate_rps: long-run mean arrival rate (requests/second).
+    duration_s: length of the generated timeline.
+    process: ``poisson`` or ``bursty``.
+    seed: fully determines the timeline.
+    window_s: generation granularity — each window's draws are
+        independently keyed, so the timeline is query-order independent.
+    burst_factor / burst_prob: bursty-process knobs (ignored for
+        ``poisson``).
+    """
+
+    rate_rps: float
+    duration_s: float
+    process: str = "poisson"
+    seed: int = 0
+    window_s: float = 1.0
+    burst_factor: float = 4.0
+    burst_prob: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.process not in PROCESSES:
+            raise ValueError(f"unknown arrival process {self.process!r}")
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0.0 <= self.burst_prob < 1.0:
+            raise ValueError("burst_prob must be in [0, 1)")
+
+    @property
+    def normal_rate_rps(self) -> float:
+        """Non-burst-phase rate; equals ``rate_rps`` for ``poisson``.
+
+        Chosen so that ``E[rate] = (1-q)·r + q·f·r = rate_rps`` for burst
+        probability ``q`` and factor ``f``.
+        """
+        if self.process != "bursty":
+            return self.rate_rps
+        return self.rate_rps / (1.0 + self.burst_prob * (self.burst_factor - 1.0))
+
+
+def generate_arrivals(spec: ArrivalSpec) -> np.ndarray:
+    """Sorted arrival times in ``[0, duration_s)`` for ``spec``.
+
+    Each window draws its phase, its Poisson count, and its (uniform
+    order-statistic) arrival offsets from one counter-keyed generator —
+    the standard construction of a Poisson process conditioned on the
+    count, windowed so determinism survives partial consumption.
+    """
+    n_windows = int(np.ceil(spec.duration_s / spec.window_s))
+    chunks: list[np.ndarray] = []
+    for w in range(n_windows):
+        start = w * spec.window_s
+        length = min(spec.window_s, spec.duration_s - start)
+        rng = np.random.default_rng((spec.seed, _KIND_IDS["window"], w))
+        rate = spec.normal_rate_rps
+        if spec.process == "bursty" and rng.random() < spec.burst_prob:
+            rate *= spec.burst_factor
+        count = rng.poisson(rate * length)
+        if count:
+            chunks.append(np.sort(start + rng.uniform(0.0, length, count)))
+    if not chunks:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(chunks)

@@ -1,0 +1,187 @@
+"""Model registry: named builders, variant materialization, cost accounting.
+
+The serving layer's source of truth for *what* can be served: every model
+in the zoo registers a builder, and :meth:`ModelRegistry.materialize`
+turns ``(name, variant)`` into a ready :class:`ServedModel` — the
+``full`` variant as trained, or the ``factorized`` variant rebuilt
+through the paper's truncated-SVD hybrid conversion.  Each materialized
+variant reports its parameter count and measured per-example MACs, which
+is exactly the quantity Pufferfish permanently shrinks (unlike
+gradient-compression schemes, which leave the served model full-rank).
+
+Checkpoints saved by :func:`repro.utils.save_model` /
+:func:`~repro.utils.save_checkpoint` load into either variant; for
+``factorized`` the architecture is hybridized first so a checkpoint from
+:class:`~repro.core.PufferfishTrainer` drops straight in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..observability import metrics as _metrics
+
+__all__ = [
+    "VARIANTS",
+    "ServedModel",
+    "ModelRegistry",
+    "build_model",
+    "hybrid_config_for",
+    "default_registry",
+]
+
+VARIANTS = ("full", "factorized")
+
+# One canonical example-input shape serves the whole zoo: the conv models
+# take NCHW CIFAR-shaped images and MLP flattens them internally.
+INPUT_SHAPE = (3, 32, 32)
+
+
+def build_model(name: str, num_classes: int = 4, width: float = 0.25):
+    """Construct a zoo model by name (the CLI's model table lives here)."""
+    from .. import models
+
+    if name == "mlp":
+        return models.MLP(3 * 32 * 32, [256, 128], num_classes)
+    if name == "vgg11":
+        return models.vgg11(num_classes=num_classes, width_mult=width)
+    if name == "vgg19":
+        return models.vgg19(num_classes=num_classes, width_mult=width)
+    if name == "resnet18":
+        return models.resnet18(num_classes=num_classes, width_mult=width)
+    if name == "resnet50":
+        return models.resnet50(num_classes=num_classes, width_mult=width, small_input=True)
+    if name == "wideresnet50":
+        return models.wide_resnet50_2(
+            num_classes=num_classes, width_mult=width, small_input=True
+        )
+    raise ValueError(f"unknown model {name!r}")
+
+
+def hybrid_config_for(name: str, model, rank_ratio: float = 0.25):
+    """The per-model hybrid factorization config (paper Section 3.3)."""
+    from .. import models
+    from ..core import FactorizationConfig
+
+    if name == "vgg19":
+        return models.vgg19_hybrid_config(rank_ratio)
+    if name == "vgg11":
+        return models.vgg11_hybrid_config(rank_ratio)
+    if name == "resnet18":
+        return models.resnet18_hybrid_config(model, rank_ratio)
+    if name in ("resnet50", "wideresnet50"):
+        return models.resnet50_hybrid_config(model, rank_ratio)
+    return FactorizationConfig(rank_ratio=rank_ratio)
+
+
+@dataclass
+class ServedModel:
+    """A materialized model variant plus its serving-relevant costs."""
+
+    name: str
+    variant: str
+    model: object
+    params: int
+    macs: int
+    input_shape: tuple[int, ...]
+    factorization: dict | None = None  # params_before/after, compression, ...
+
+    def describe(self) -> dict:
+        out = {
+            "name": self.name,
+            "variant": self.variant,
+            "params": self.params,
+            "macs": self.macs,
+        }
+        if self.factorization:
+            out["factorization"] = dict(self.factorization)
+        return out
+
+
+class ModelRegistry:
+    """Name → builder table with cached variant materialization.
+
+    Materializing the factorized variant pays the one-time truncated SVD,
+    so repeated lookups (rate sweeps, CLI reruns in one process) hit the
+    cache; the cache key covers every argument that changes the result.
+    """
+
+    def __init__(self):
+        self._builders: dict[str, object] = {}
+        self._cache: dict[tuple, ServedModel] = {}
+
+    def register(self, name: str, builder) -> None:
+        self._builders[name] = builder
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._builders))
+
+    def materialize(
+        self,
+        name: str,
+        variant: str = "full",
+        *,
+        num_classes: int = 4,
+        width: float = 0.25,
+        rank_ratio: float = 0.25,
+        seed: int = 0,
+        checkpoint=None,
+    ) -> ServedModel:
+        """Build (or fetch) one ready-to-serve model variant."""
+        if name not in self._builders:
+            raise ValueError(f"unknown model {name!r}; registered: {self.names()}")
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+        key = (name, variant, num_classes, width, rank_ratio, seed,
+               str(checkpoint) if checkpoint is not None else None)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        from ..core import build_hybrid
+        from ..metrics import measure_macs
+        from ..tensor import Tensor
+        from ..utils import set_seed
+
+        set_seed(seed)
+        model = self._builders[name](num_classes, width)
+        factorization = None
+        if variant == "factorized":
+            model, report = build_hybrid(model, hybrid_config_for(name, model, rank_ratio))
+            factorization = {
+                "params_before": report.params_before,
+                "params_after": report.params_after,
+                "compression": report.compression,
+                "n_factorized": len(report.replaced),
+            }
+        if checkpoint is not None:
+            from ..utils import load_model
+
+            load_model(model, checkpoint)
+        model.eval()
+        example = Tensor(np.zeros((1, *INPUT_SHAPE), dtype=np.float32))
+        served = ServedModel(
+            name=name,
+            variant=variant,
+            model=model,
+            params=int(model.num_parameters()),
+            macs=int(measure_macs(model, example)),
+            input_shape=INPUT_SHAPE,
+            factorization=factorization,
+        )
+        self._cache[key] = served
+        if _metrics.COLLECT:
+            _metrics.REGISTRY.counter("serve.models_materialized").labels(
+                variant=variant
+            ).inc()
+        return served
+
+
+def default_registry() -> ModelRegistry:
+    """A fresh registry holding the full model zoo."""
+    registry = ModelRegistry()
+    for name in ("mlp", "vgg11", "vgg19", "resnet18", "resnet50", "wideresnet50"):
+        registry.register(name, lambda c, w, _n=name: build_model(_n, c, w))
+    return registry

@@ -1,0 +1,347 @@
+"""Discrete-event serving simulation over measured latency profiles.
+
+The simulator composes the serving pieces — seeded arrivals, SLO
+admission control, the dynamic batcher, and a pool of replica workers —
+into one event loop on the modeled clock.  Per-batch service times come
+from a :class:`~repro.serve.latency.LatencyProfile` (measured ``no_grad``
+forwards of the real model), so the run is a *pure function* of
+``(arrival times, profile, config)``: two runs with the same inputs
+produce identical request timelines, shed decisions, and digests — the
+serving analogue of the fault injector's determinism guarantee.
+
+Events processed in strict time order:
+
+* **arrival** — the admission controller predicts the request's
+  completion from the queue depth and replica occupancy; predicted SLO
+  misses are shed immediately (``shed_admission``).
+* **dispatch** — when a replica is free and the batcher's head batch is
+  full (or its oldest request hits ``max_wait_s``), up to
+  ``max_batch_size`` requests leave the queue; any whose deadline already
+  passed are shed (``shed_deadline``), the rest ride one measured-latency
+  forward together.
+
+Latency quantiles, throughput, queue depth and shed rate flow through
+:mod:`repro.observability` under the ``serve.*`` namespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
+from .admission import SHED_ADMISSION, SHED_DEADLINE, AdmissionController
+from .batcher import BatchPolicy, DynamicBatcher, Request
+from .latency import LatencyProfile
+
+__all__ = ["ServeConfig", "BatchRecord", "RequestOutcome", "ServeReport", "ServeSimulator"]
+
+COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-side knobs: the SLO, the batcher, and the replica pool."""
+
+    slo_s: float
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch on the modeled clock."""
+
+    index: int
+    replica: int
+    dispatch_s: float
+    size: int
+    service_s: float
+    completion_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "replica": self.replica,
+            "dispatch_s": round(self.dispatch_s, 9),
+            "size": self.size,
+            "service_s": round(self.service_s, 9),
+            "completion_s": round(self.completion_s, 9),
+        }
+
+
+@dataclass
+class RequestOutcome:
+    """Final status of one request: served (latency, SLO hit/miss) or shed."""
+
+    rid: int
+    arrival_s: float
+    status: str  # completed | shed_admission | shed_deadline
+    completion_s: float | None = None
+    latency_s: float | None = None
+    slo_ok: bool | None = None
+    batch: int | None = None
+
+    def as_dict(self) -> dict:
+        out = {"rid": self.rid, "arrival_s": round(self.arrival_s, 9), "status": self.status}
+        if self.status == COMPLETED:
+            out.update(
+                completion_s=round(self.completion_s, 9),
+                latency_s=round(self.latency_s, 9),
+                slo_ok=bool(self.slo_ok),
+                batch=self.batch,
+            )
+        return out
+
+
+@dataclass
+class ServeReport:
+    """Everything one simulation produced, with derived SLO accounting."""
+
+    duration_s: float
+    slo_s: float
+    outcomes: list[RequestOutcome]
+    batches: list[BatchRecord]
+    queue_depths: list[int]  # sampled at every arrival, post-decision
+
+    # -- derived --------------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == COMPLETED)
+
+    @property
+    def n_shed(self) -> int:
+        return self.n_requests - self.n_completed
+
+    def shed_by_reason(self) -> dict[str, int]:
+        out = {SHED_ADMISSION: 0, SHED_DEADLINE: 0}
+        for o in self.outcomes:
+            if o.status != COMPLETED:
+                out[o.status.removeprefix("shed_")] += 1
+        return out
+
+    @property
+    def shed_rate(self) -> float:
+        return self.n_shed / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def slo_miss_rate(self) -> float:
+        """Completed-but-late fraction (shed requests counted separately)."""
+        done = self.n_completed
+        if not done:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.status == COMPLETED and not o.slo_ok) / done
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed-within-SLO requests per offered second."""
+        ok = sum(1 for o in self.outcomes if o.status == COMPLETED and o.slo_ok)
+        return ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        xs = [o.latency_s for o in self.outcomes if o.status == COMPLETED]
+        if not xs:
+            return 0.0
+        return float(np.quantile(xs, q))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.size for b in self.batches) / len(self.batches)
+
+    def summary(self) -> dict:
+        shed = self.shed_by_reason()
+        return {
+            "duration_s": self.duration_s,
+            "slo_ms": round(self.slo_s * 1e3, 6),
+            "n_requests": self.n_requests,
+            "n_completed": self.n_completed,
+            "n_shed_admission": shed[SHED_ADMISSION],
+            "n_shed_deadline": shed[SHED_DEADLINE],
+            "shed_rate": round(self.shed_rate, 6),
+            "slo_miss_rate": round(self.slo_miss_rate, 6),
+            "throughput_rps": round(self.throughput_rps, 6),
+            "goodput_rps": round(self.goodput_rps, 6),
+            "p50_ms": round(self.latency_quantile(0.50) * 1e3, 6),
+            "p95_ms": round(self.latency_quantile(0.95) * 1e3, 6),
+            "p99_ms": round(self.latency_quantile(0.99) * 1e3, 6),
+            "n_batches": len(self.batches),
+            "mean_batch_size": round(self.mean_batch_size, 6),
+            "queue_depth_max": max(self.queue_depths, default=0),
+            "timeline_digest": self.digest(),
+        }
+
+    def timeline(self) -> list[dict]:
+        return [o.as_dict() for o in self.outcomes]
+
+    def digest(self) -> str:
+        """Stable hash of the full request/batch timeline.
+
+        Two runs are behaviorally identical iff their digests match —
+        the CLI prints it and the determinism tests compare it.
+        """
+        payload = json.dumps(
+            {
+                "timeline": self.timeline(),
+                "batches": [b.as_dict() for b in self.batches],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class ServeSimulator:
+    """One replica pool serving one model variant under offered load."""
+
+    def __init__(self, profile: LatencyProfile, config: ServeConfig):
+        self.profile = profile
+        self.config = config
+        self.admission = AdmissionController(profile, config.policy)
+
+    def run(self, arrival_times, duration_s: float | None = None) -> ServeReport:
+        """Simulate serving every arrival; returns the full report.
+
+        ``duration_s`` normalizes throughput (defaults to the later of the
+        last arrival and the last completion).
+        """
+        cfg = self.config
+        arrivals = [float(t) for t in arrival_times]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ValueError("arrival times must be sorted")
+        requests = [Request(i, t, t + cfg.slo_s) for i, t in enumerate(arrivals)]
+        outcomes: list[RequestOutcome | None] = [None] * len(requests)
+        batcher = DynamicBatcher(cfg.policy)
+        # Replica pool as a min-heap of (free_at, replica_id).
+        pool = [(0.0, r) for r in range(cfg.replicas)]
+        heapq.heapify(pool)
+        batches: list[BatchRecord] = []
+        queue_depths: list[int] = []
+        collect = _metrics.COLLECT
+        last_completion = 0.0
+
+        i, n = 0, len(requests)
+        with _trace.span("serve.run", requests=n, replicas=cfg.replicas):
+            while i < n or len(batcher):
+                if len(batcher):
+                    free_at = pool[0][0]
+                    if batcher.full:
+                        dispatch_s = max(free_at, batcher.fill_time())
+                    else:
+                        dispatch_s = max(free_at, batcher.flush_at())
+                else:
+                    dispatch_s = None
+                # Arrivals strictly before the next dispatch are processed
+                # first — the admission estimate must see the queue state
+                # as it stands at their arrival instant.
+                if i < n and (dispatch_s is None or requests[i].arrival_s < dispatch_s):
+                    req = requests[i]
+                    i += 1
+                    decision = self.admission.assess(req, len(batcher), pool[0][0])
+                    if collect:
+                        _metrics.REGISTRY.counter("serve.requests").inc()
+                        _metrics.REGISTRY.histogram("serve.queue_depth").observe(
+                            len(batcher)
+                        )
+                    if decision.admitted:
+                        batcher.enqueue(req)
+                        if collect:
+                            _metrics.REGISTRY.counter("serve.admitted").inc()
+                    else:
+                        outcomes[req.rid] = RequestOutcome(
+                            req.rid, req.arrival_s, f"shed_{SHED_ADMISSION}"
+                        )
+                        if collect:
+                            _metrics.REGISTRY.counter("serve.shed").labels(
+                                reason=SHED_ADMISSION
+                            ).inc()
+                    queue_depths.append(len(batcher))
+                    continue
+
+                # Dispatch the head batch at ``dispatch_s``.
+                batch = batcher.take()
+                live: list[Request] = []
+                for req in batch:
+                    if req.deadline_s < dispatch_s:
+                        outcomes[req.rid] = RequestOutcome(
+                            req.rid, req.arrival_s, f"shed_{SHED_DEADLINE}"
+                        )
+                        if collect:
+                            _metrics.REGISTRY.counter("serve.shed").labels(
+                                reason=SHED_DEADLINE
+                            ).inc()
+                    else:
+                        live.append(req)
+                if not live:
+                    continue
+                service = self.profile.latency(len(live))
+                completion = dispatch_s + service
+                free_at, replica = heapq.heapreplace(pool, (completion, pool[0][1]))
+                record = BatchRecord(
+                    len(batches), replica, dispatch_s, len(live), service, completion
+                )
+                batches.append(record)
+                last_completion = max(last_completion, completion)
+                with _trace.span(
+                    "serve.batch",
+                    batch=record.index,
+                    size=record.size,
+                    dispatch_s=record.dispatch_s,
+                    service_s=record.service_s,
+                ):
+                    for req in live:
+                        outcomes[req.rid] = RequestOutcome(
+                            req.rid,
+                            req.arrival_s,
+                            COMPLETED,
+                            completion_s=completion,
+                            latency_s=completion - req.arrival_s,
+                            slo_ok=completion <= req.deadline_s,
+                            batch=record.index,
+                        )
+                if collect:
+                    _metrics.REGISTRY.counter("serve.batches").inc()
+                    _metrics.REGISTRY.counter("serve.completed").inc(len(live))
+                    _metrics.REGISTRY.histogram("serve.batch_size").observe(len(live))
+                    for req in live:
+                        _metrics.REGISTRY.histogram("serve.latency_ms").observe(
+                            (completion - req.arrival_s) * 1e3
+                        )
+
+        horizon = duration_s
+        if horizon is None:
+            horizon = max([last_completion, *arrivals[-1:]], default=0.0)
+        report = ServeReport(
+            duration_s=float(horizon),
+            slo_s=cfg.slo_s,
+            outcomes=[o for o in outcomes if o is not None],
+            batches=batches,
+            queue_depths=queue_depths,
+        )
+        if collect:
+            _metrics.REGISTRY.gauge("serve.shed_rate").set(report.shed_rate)
+            _metrics.REGISTRY.gauge("serve.throughput_rps").set(report.throughput_rps)
+            _metrics.REGISTRY.gauge("serve.p95_ms").set(
+                report.latency_quantile(0.95) * 1e3
+            )
+        return report

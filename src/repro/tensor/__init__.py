@@ -5,7 +5,7 @@ dynamic autograd graph, convolution/pooling kernels via im2col, and fused
 functional primitives (softmax, cross-entropy, embedding, dropout).
 """
 
-from .tensor import Tensor, no_grad, is_grad_enabled
+from .tensor import Tensor, graph_nodes_created, is_grad_enabled, no_grad
 from .conv_ops import conv2d, max_pool2d, avg_pool2d, global_avg_pool2d, im2col, col2im
 from .functional import (
     softmax,
@@ -23,6 +23,7 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "graph_nodes_created",
     "conv2d",
     "max_pool2d",
     "avg_pool2d",

@@ -24,7 +24,7 @@ import numpy as np
 
 from . import profiler as _profiler
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "graph_nodes_created"]
 
 DEFAULT_DTYPE = np.float32
 
@@ -59,6 +59,20 @@ class no_grad:
 
 def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
+
+
+# Monotonic count of autograd graph nodes recorded since process start.
+# Eval paths must leave it untouched: serving forwards and Trainer
+# evaluation run under ``no_grad``, and the regression tests assert the
+# delta across an evaluation is exactly zero (any nonzero delta means a
+# code path silently rebuilt the graph — wasted memory and time that
+# the serving latency profiles would otherwise absorb as noise).
+_GRAPH_NODES_CREATED = 0
+
+
+def graph_nodes_created() -> int:
+    """Total autograd nodes recorded so far (monotonic; compare deltas)."""
+    return _GRAPH_NODES_CREATED
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -133,6 +147,8 @@ class Tensor:
         out = cls(data)
         out.requires_grad = requires
         if requires:
+            global _GRAPH_NODES_CREATED
+            _GRAPH_NODES_CREATED += 1
             out._parents = tuple(parents)
             out._backward = backward
             out._op = op

@@ -201,3 +201,71 @@ class TestSimulateFaults:
         ])
         assert rc == 2
         assert "bad --faults spec" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_mlp_smoke(self, capsys):
+        rc = main([
+            "serve", "--model", "mlp", "--variant", "full", "--rate", "50",
+            "--duration", "2", "--slo-ms", "100", "--seed", "0",
+            "--profile-repeats", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "single-replica capacity" in out
+        assert "timeline digest:" in out
+        assert "latency p50" in out
+
+    def test_serve_factorized_reports_compression(self, capsys):
+        rc = main([
+            "serve", "--model", "mlp", "--variant", "factorized", "--rate", "50",
+            "--duration", "2", "--slo-ms", "100", "--seed", "0",
+            "--profile-repeats", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "low-rank layers" in out
+        assert "x)" in out  # compression factor printed
+
+    def test_serve_deterministic_with_saved_profile(self, tmp_path, capsys):
+        """Acceptance criterion: a fixed seed + fixed profile reproduces the
+        request timeline and shed decisions exactly (identical digests)."""
+        prof = tmp_path / "prof.json"
+        args = [
+            "serve", "--model", "mlp", "--rate", "200", "--duration", "3",
+            "--slo-ms", "50", "--seed", "0",
+        ]
+        rc = main(args + ["--profile-repeats", "1", "--save-profile", str(prof)])
+        assert rc == 0
+        first = capsys.readouterr().out
+        digest = [l for l in first.splitlines() if "timeline digest" in l]
+        rc = main(args + ["--latency-profile", str(prof)])
+        assert rc == 0
+        second = capsys.readouterr().out
+        assert digest == [l for l in second.splitlines() if "timeline digest" in l]
+
+    def test_serve_timeline_json_written(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "timeline.json"
+        rc = main([
+            "serve", "--model", "mlp", "--rate", "50", "--duration", "2",
+            "--slo-ms", "100", "--seed", "0", "--profile-repeats", "1",
+            "--timeline", str(out_path),
+        ])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert set(payload) >= {"summary", "timeline", "batches"}
+        assert payload["summary"]["n_requests"] == len(payload["timeline"])
+
+    def test_serve_bad_config_exits_2(self, capsys):
+        rc = main([
+            "serve", "--model", "mlp", "--rate", "-5", "--duration", "2",
+            "--slo-ms", "100",
+        ])
+        assert rc == 2
+        assert "bad serve configuration" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--variant", "half"])

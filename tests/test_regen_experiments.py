@@ -1,0 +1,132 @@
+"""scripts/regen_experiments.py: marker parsing, generation, --check."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "regen_experiments.py"
+
+spec = importlib.util.spec_from_file_location("regen_experiments", SCRIPT)
+regen = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(regen)
+
+
+ARTIFACT = {
+    "scenarios": {
+        "variant_accounting": {
+            "params_full": 1000,
+            "params_factorized": 400,
+            "macs_full": 9000,
+            "macs_factorized": 6000,
+            "compression": 2.5,
+        },
+        "pinned_crossover": {
+            "slo_ms": 150.0,
+            "max_batch": 16,
+            "max_wait_ms": 10.0,
+            "rates": [100, 200],
+            "duration_s": 10.0,
+            "seed": 0,
+            "variants": {
+                "full": {
+                    "capacity_rps": 150.0,
+                    "rates": {
+                        "100": {"throughput_rps": 99.0, "shed_rate": 0.0,
+                                "p50_ms": 20.0, "p99_ms": 40.0, "queue_depth_max": 3},
+                        "200": {"throughput_rps": 149.0, "shed_rate": 0.2,
+                                "p50_ms": 80.0, "p99_ms": 140.0, "queue_depth_max": 9},
+                    },
+                },
+                "factorized": {
+                    "capacity_rps": 180.0,
+                    "rates": {
+                        "100": {"throughput_rps": 99.5, "shed_rate": 0.0,
+                                "p50_ms": 15.0, "p99_ms": 30.0, "queue_depth_max": 2},
+                        "200": {"throughput_rps": 178.0, "shed_rate": 0.05,
+                                "p50_ms": 60.0, "p99_ms": 120.0, "queue_depth_max": 7},
+                    },
+                },
+            },
+        },
+    }
+}
+
+DOC = """# Experiments
+
+prose stays untouched
+
+<!-- regen:serving_crossover source=BENCH_serving.json -->
+stale content
+<!-- regen:end -->
+
+trailing prose stays untouched
+"""
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    (tmp_path / "BENCH_serving.json").write_text(json.dumps(ARTIFACT))
+    return tmp_path
+
+
+def test_regenerate_replaces_only_marked_section(bench_dir):
+    new, names = regen.regenerate(DOC, bench_dir)
+    assert names == ["serving_crossover"]
+    assert "stale content" not in new
+    assert "prose stays untouched" in new and "trailing prose stays untouched" in new
+    assert "| 200 | factorized | 178.0 | 5.0% | 60.0 | 120.0 | 7 |" in new
+    assert "full 150 rps, factorized 180 rps" in new
+
+
+def test_regenerate_is_idempotent(bench_dir):
+    once, _ = regen.regenerate(DOC, bench_dir)
+    twice, _ = regen.regenerate(once, bench_dir)
+    assert once == twice
+
+
+def test_unknown_generator_raises(bench_dir):
+    doc = DOC.replace("serving_crossover", "no_such_table")
+    with pytest.raises(SystemExit, match="no generator"):
+        regen.regenerate(doc, bench_dir)
+
+
+def test_missing_artifact_raises(tmp_path):
+    with pytest.raises(SystemExit, match="run the benchmark"):
+        regen.regenerate(DOC, tmp_path)
+
+
+def test_check_mode_detects_staleness(bench_dir, tmp_path, capsys):
+    doc_path = tmp_path / "EXPERIMENTS.md"
+    doc_path.write_text(DOC)
+    rc = regen.main(["--check", "--file", str(doc_path), "--bench-dir", str(bench_dir)])
+    assert rc == 1
+    assert "stale" in capsys.readouterr().out
+    # Rewrite, then --check goes green.
+    assert regen.main(["--file", str(doc_path), "--bench-dir", str(bench_dir)]) == 0
+    rc = regen.main(["--check", "--file", str(doc_path), "--bench-dir", str(bench_dir)])
+    assert rc == 0
+
+
+def test_no_markers_is_a_noop(bench_dir, tmp_path):
+    doc_path = tmp_path / "PLAIN.md"
+    doc_path.write_text("# nothing generated here\n")
+    assert regen.main(["--file", str(doc_path), "--bench-dir", str(bench_dir)]) == 0
+    assert doc_path.read_text() == "# nothing generated here\n"
+
+
+def test_repo_experiments_md_is_current():
+    """The committed EXPERIMENTS.md must match the committed baseline
+    artifact — the same sync CI enforces after the serving benchmark."""
+    baseline = (
+        Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "baselines"
+        / "serving_baseline.json"
+    )
+    artifact = json.loads(baseline.read_text())
+    lines = regen.gen_serving_crossover(artifact)
+    committed = regen.EXPERIMENTS.read_text()
+    for line in lines:
+        assert line in committed
