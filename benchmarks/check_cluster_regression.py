@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI regression gate for the cluster control-plane benchmark.
+
+Compares a fresh ``BENCH_cluster.json`` against the committed baseline
+(``benchmarks/baselines/cluster_baseline.json``).  Every scenario is
+driven by pinned latency profiles and registry parameter arithmetic, so
+the whole artifact is a pure function of seeds and configs: the
+comparison is an exact deep-diff — timeline digests included — and any
+drift is a behavior change in the placement engine, scenario generator,
+policies, autoscaler loop or canary gate, never noise.
+
+On top of the diff, the gate re-asserts the headline claims from the
+current artifact:
+
+* fleet cost — the factorized fleet serves the same request stream at an
+  equal-or-lower shed rate on strictly fewer hosts than full-rank;
+* autoscale — steady-state shed stays within the configured target and
+  the event timeline shows zero hysteresis oscillations;
+* canary — the healthy rollout promotes, the degraded one rolls back.
+
+Usage::
+
+    python benchmarks/check_cluster_regression.py \
+        [--current BENCH_cluster.json] \
+        [--baseline benchmarks/baselines/cluster_baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _deep_diff(cur, base, path: str, failures: list[str]) -> None:
+    """Record every leaf where ``cur`` differs from ``base``."""
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in sorted(set(base) | set(cur)):
+            if key not in cur:
+                failures.append(f"{path}.{key}: missing from current run")
+            elif key not in base:
+                failures.append(f"{path}.{key}: not in baseline (new key)")
+            else:
+                _deep_diff(cur[key], base[key], f"{path}.{key}", failures)
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            failures.append(f"{path}: length {len(cur)} != baseline {len(base)}")
+            return
+        for i, (c, b) in enumerate(zip(cur, base)):
+            _deep_diff(c, b, f"{path}[{i}]", failures)
+        return
+    if cur != base:
+        failures.append(f"{path}: {cur!r} != baseline {base!r}")
+
+
+def _check_headline(current: dict, failures: list[str]) -> None:
+    scenarios = current.get("scenarios", {})
+
+    fleet = scenarios.get("fleet_cost")
+    if fleet is None:
+        failures.append("fleet_cost: scenario missing from current run")
+    else:
+        full = fleet["variants"]["full"]
+        fact = fleet["variants"]["factorized"]
+        if not fact["n_hosts"] < full["n_hosts"]:
+            failures.append(
+                f"fleet_cost: factorized hosts {fact['n_hosts']} not strictly "
+                f"below full {full['n_hosts']}"
+            )
+        if fact["shed_rate"] > full["shed_rate"]:
+            failures.append(
+                f"fleet_cost: factorized shed {fact['shed_rate']} above "
+                f"full {full['shed_rate']}"
+            )
+        if fact["n_requests"] != full["n_requests"]:
+            failures.append("fleet_cost: variants saw different request streams")
+
+    scale = scenarios.get("autoscale_spike")
+    if scale is None:
+        failures.append("autoscale_spike: scenario missing from current run")
+    else:
+        if scale["steady_state_shed"] > scale["shed_target"]:
+            failures.append(
+                f"autoscale_spike: steady-state shed {scale['steady_state_shed']} "
+                f"above target {scale['shed_target']}"
+            )
+        if scale["oscillations"] != 0:
+            failures.append(
+                f"autoscale_spike: {scale['oscillations']} hysteresis "
+                "oscillations in the event timeline"
+            )
+
+    canary = scenarios.get("canary_rollout")
+    if canary is None:
+        failures.append("canary_rollout: scenario missing from current run")
+    else:
+        if canary["healthy"]["status"] != "promoted":
+            failures.append(
+                f"canary_rollout: healthy run {canary['healthy']['status']!r}, "
+                "expected promoted"
+            )
+        if canary["slow_canary"]["status"] != "rolled_back":
+            failures.append(
+                f"canary_rollout: slow-canary run "
+                f"{canary['slow_canary']['status']!r}, expected rolled_back"
+            )
+
+
+def check(current: dict, baseline: dict) -> list[str]:
+    failures: list[str] = []
+    cur_scenarios = current.get("scenarios", {})
+    for name, base in sorted(baseline["scenarios"].items()):
+        cur = cur_scenarios.get(name)
+        if cur is None:
+            failures.append(f"{name}: scenario missing from current run")
+            continue
+        _deep_diff(cur, base, name, failures)
+    _check_headline(current, failures)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", default="BENCH_cluster.json")
+    ap.add_argument(
+        "--baseline", default="benchmarks/baselines/cluster_baseline.json"
+    )
+    args = ap.parse_args(argv)
+
+    for path in (args.current, args.baseline):
+        if not Path(path).exists():
+            print(f"cluster regression gate: missing {path}", file=sys.stderr)
+            return 2
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    failures = check(current, baseline)
+    n = len(baseline["scenarios"])
+    if failures:
+        print(f"cluster regression gate: {len(failures)} failure(s) across {n} scenarios")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(
+        f"cluster regression gate: {n} baseline scenarios OK "
+        "(pinned-profile deterministic, exact diff)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,10 @@ Five subcommands cover the library's main entry points:
 * ``serve``     — serve a model variant under seeded offered load with
   dynamic batching and SLO admission control (measured latencies,
   deterministic timeline for a fixed seed + profile).
+* ``cluster``   — the fleet control plane over ``serve``: ``place`` packs
+  replicas onto hosts and compares full vs factorized fleet cost,
+  ``autoscale`` steps a seeded load scenario through the windowed
+  control loop, ``canary`` walks a gated traffic shift full → factorized.
 
 Examples::
 
@@ -20,6 +24,9 @@ Examples::
     python -m repro simulate --model resnet18 --nodes 8 --compressor powersgd
     python -m repro profile quickstart --out trace.json
     python -m repro serve --model vgg19 --variant factorized --rate 300 --slo-ms 150
+    python -m repro cluster place --model vgg19 --replicas 6 --host-mem-mb 12
+    python -m repro cluster autoscale --phases 250x60,450x60,250x60 --policy shed_rate
+    python -m repro cluster canary --phases 400x120 --steps 0.05,0.25,0.5,1.0
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 MODELS = ("mlp", "vgg11", "vgg19", "resnet18", "resnet50", "wideresnet50")
+# The serving registry also covers the sequence zoo (non-image InputSpecs).
+SERVE_MODELS = MODELS + ("lstm", "transformer")
 COMPRESSORS = ("none", "powersgd", "signum", "qsgd", "topk", "binary", "atomo")
 
 
@@ -284,7 +293,7 @@ def cmd_serve(args) -> int:
         else:
             profile = measure_latency_profile(
                 served.model,
-                served.input_shape,
+                served.input_spec,
                 repeats=args.profile_repeats,
                 meta={"model": args.model, "variant": args.variant, "width": args.width},
             )
@@ -328,6 +337,242 @@ def cmd_serve(args) -> int:
             )
         print(f"timeline written to {args.timeline}")
     return 0
+
+
+# -- cluster ----------------------------------------------------------------
+
+
+def _cluster_served(args, variant: str):
+    """Materialize one variant for exact memory accounting."""
+    from .serve import default_registry
+
+    return default_registry().materialize(
+        args.model,
+        variant,
+        num_classes=args.classes,
+        width=args.width,
+        rank_ratio=args.rank_ratio,
+        seed=args.seed,
+    )
+
+
+def _cluster_profile(args, served, path):
+    """Load a saved latency profile, or measure one from the live model."""
+    from .serve import LatencyProfile, measure_latency_profile
+
+    if path:
+        return LatencyProfile.load(path)
+    return measure_latency_profile(
+        served.model,
+        served.input_spec,
+        meta={"model": served.name, "variant": served.variant},
+    )
+
+
+def cmd_cluster_place(args) -> int:
+    from . import observability as obs
+    from .cluster import ClusterConfigError, HostSpec, lower_bound_hosts, pack, replica_spec_for
+
+    try:
+        host = HostSpec(
+            mem_bytes=int(args.host_mem_mb * 1e6),
+            compute_rps=args.host_rps,
+            cost=args.host_cost,
+        )
+        if args.replicas < 1:
+            raise ClusterConfigError("--replicas must be >= 1")
+    except ClusterConfigError as e:
+        print(f"bad cluster configuration: {e}", file=sys.stderr)
+        return 2
+
+    obs.enable_metrics()
+    try:
+        results = {}
+        for variant, path in (
+            ("full", args.profile_full),
+            ("factorized", args.profile_factorized),
+        ):
+            served = _cluster_served(args, variant)
+            profile = _cluster_profile(args, served, path)
+            replica = replica_spec_for(served, profile, overhead_bytes=int(args.overhead_mb * 1e6))
+            fleet = [replica] * args.replicas
+            try:
+                res = pack(fleet, host, policy=args.placement, max_hosts=args.max_hosts)
+            except ClusterConfigError as e:
+                print(f"bad cluster configuration: {e}", file=sys.stderr)
+                return 2
+            results[variant] = (replica, res)
+            print(f"{variant}: {served.params:,} params "
+                  f"({replica.mem_bytes / 1e6:.2f} MB/replica, "
+                  f"{replica.capacity_rps:.0f} rps/replica)")
+            print(f"  {args.replicas} replicas -> {res.n_hosts} hosts "
+                  f"({args.placement}, lower bound {lower_bound_hosts(fleet, host)}) | "
+                  f"fleet cost {res.fleet_cost:.1f} | "
+                  f"mem packed {res.mem_utilization:.1%} | rejected {len(res.rejected)}")
+    finally:
+        obs.disable_metrics()
+
+    full_hosts = results["full"][1].n_hosts
+    fact_hosts = results["factorized"][1].n_hosts
+    if full_hosts and fact_hosts:
+        print(f"\nfactorized fleet uses {fact_hosts}/{full_hosts} hosts "
+              f"({full_hosts - fact_hosts} fewer) for the same replica count")
+    if args.out:
+        import json as _json
+
+        with open(args.out, "w") as f:
+            _json.dump(
+                {v: res.as_dict() for v, (_, res) in results.items()},
+                f, indent=2, sort_keys=True,
+            )
+        print(f"placement written to {args.out}")
+    return 0
+
+
+def cmd_cluster_autoscale(args) -> int:
+    from . import observability as obs
+    from .cluster import (
+        ClusterAutoscaler,
+        ClusterConfigError,
+        ClusterScenario,
+        HostSpec,
+        PoolConfig,
+        make_policy,
+        parse_phases,
+        replica_spec_for,
+    )
+    from .serve import BatchPolicy
+
+    try:
+        scenario = ClusterScenario(
+            parse_phases(args.phases),
+            window_s=args.window,
+            process=args.arrival,
+            seed=args.seed,
+        )
+        policy_kwargs = {}
+        if args.target is not None:
+            policy_kwargs["target"] = args.target
+        if args.stable_windows is not None:
+            policy_kwargs["stable_windows"] = args.stable_windows
+        policy = make_policy(args.policy, **policy_kwargs)
+        host = None
+        if args.host_mem_mb is not None:
+            host = HostSpec(
+                mem_bytes=int(args.host_mem_mb * 1e6), compute_rps=args.host_rps
+            )
+    except ClusterConfigError as e:
+        print(f"bad cluster configuration: {e}", file=sys.stderr)
+        return 2
+
+    obs.enable_metrics()
+    try:
+        served = _cluster_served(args, args.variant)
+        profile = _cluster_profile(args, served, args.latency_profile)
+        try:
+            pool = PoolConfig(
+                name=f"{args.model}:{args.variant}",
+                replica=replica_spec_for(served, profile),
+                profile=profile,
+                slo_s=args.slo_ms / 1e3,
+                policy=policy,
+                batch=BatchPolicy(args.max_batch, args.max_wait_ms / 1e3),
+                initial_replicas=args.initial_replicas,
+                min_replicas=args.min_replicas,
+                max_replicas=args.max_replicas,
+                cooldown_windows=args.cooldown,
+            )
+            scaler = ClusterAutoscaler(scenario, [pool], host_spec=host)
+        except ClusterConfigError as e:
+            print(f"bad cluster configuration: {e}", file=sys.stderr)
+            return 2
+        report = scaler.run()
+    finally:
+        obs.disable_metrics()
+
+    s = report.summary()
+    p = s["pools"][pool.name]
+    print(f"scenario: {args.phases} @ window {args.window:.0f}s "
+          f"({s['n_windows']} windows, seed {args.seed})")
+    print(f"pool {pool.name}: policy {args.policy} | "
+          f"replicas {args.initial_replicas} -> {s['final_replicas'][pool.name]} "
+          f"(peak {p['max_replicas']}) | {s['n_scale_events']} scale events, "
+          f"{p['oscillations']} oscillations")
+    print(f"steady-state shed {p['steady_state_shed']:.2%}")
+    for e in report.events:
+        print(f"  window {e.window:>3}: {e.before} -> {e.after} ({e.direction}, {e.reason})")
+    if report.placement is not None:
+        print(f"final fleet: {report.placement.n_hosts} hosts "
+              f"(cost {report.placement.fleet_cost:.1f}, "
+              f"policy {report.placement.policy})")
+    print(f"timeline digest: {s['timeline_digest']}")
+    if args.timeline:
+        import json as _json
+
+        with open(args.timeline, "w") as f:
+            _json.dump(
+                {"summary": s, "windows": report.timeline(),
+                 "events": [e.as_dict() for e in report.events]},
+                f, indent=2, sort_keys=True,
+            )
+        print(f"timeline written to {args.timeline}")
+    return 0
+
+
+def cmd_cluster_canary(args) -> int:
+    from . import observability as obs
+    from .cluster import CanaryConfig, ClusterConfigError, ClusterScenario, parse_phases, run_canary
+    from .serve import BatchPolicy
+
+    try:
+        steps = tuple(float(x) for x in args.steps.split(","))
+    except ValueError:
+        print(f"bad cluster configuration: --steps must be comma-separated "
+              f"fractions, got {args.steps!r}", file=sys.stderr)
+        return 2
+    try:
+        scenario = ClusterScenario(
+            parse_phases(args.phases),
+            window_s=args.window,
+            process=args.arrival,
+            seed=args.seed,
+        )
+        config = CanaryConfig(
+            steps=steps,
+            windows_per_step=args.windows_per_step,
+            shed_delta_tolerance=args.tolerance,
+            slo_s=args.slo_ms / 1e3,
+            batch=BatchPolicy(args.max_batch, args.max_wait_ms / 1e3),
+        )
+    except ClusterConfigError as e:
+        print(f"bad cluster configuration: {e}", file=sys.stderr)
+        return 2
+
+    obs.enable_metrics()
+    try:
+        full = _cluster_served(args, "full")
+        fact = _cluster_served(args, "factorized")
+        full_profile = _cluster_profile(args, full, args.profile_full)
+        fact_profile = _cluster_profile(args, fact, args.profile_factorized)
+        try:
+            report = run_canary(scenario, full_profile, fact_profile, config)
+        except ClusterConfigError as e:
+            print(f"bad cluster configuration: {e}", file=sys.stderr)
+            return 2
+    finally:
+        obs.disable_metrics()
+
+    print(f"canary rollout {args.model} full -> factorized "
+          f"({args.phases}, seed {args.seed})")
+    for rec in report.steps:
+        verdict = "advance" if rec.advanced else "ROLLBACK"
+        print(f"  step {rec.step}: {rec.fraction:>5.0%} canary | "
+              f"baseline shed {rec.baseline_shed:.2%} ({rec.baseline_replicas} rep) | "
+              f"canary shed {rec.canary_shed:.2%} ({rec.canary_replicas} rep) | "
+              f"delta {rec.shed_delta:+.2%} -> {verdict}")
+    print(f"status: {report.status} (final fraction {report.final_fraction:.0%})")
+    print(f"timeline digest: {report.digest()}")
+    return 0 if report.status == "promoted" or args.allow_rollback else 1
 
 
 def _profile_quickstart(args):
@@ -454,8 +699,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
-        p.add_argument("--model", choices=MODELS, default="resnet18")
+    def common(p, models=MODELS):
+        p.add_argument("--model", choices=models, default="resnet18")
         p.add_argument("--width", type=float, default=0.25,
                        help="width multiplier (1.0 = paper architecture)")
         p.add_argument("--classes", type=int, default=4)
@@ -538,7 +783,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a model variant under seeded load with dynamic batching "
              "and SLO admission control",
     )
-    common(p_serve)
+    common(p_serve, models=SERVE_MODELS)
     p_serve.add_argument("--variant", choices=("full", "factorized"), default="full")
     p_serve.add_argument("--rate", type=float, default=100.0,
                          help="mean offered load in requests/second")
@@ -569,6 +814,95 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--timeline", default=None, metavar="JSON",
                          help="write the full request/batch timeline")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="fleet control plane: replica placement, autoscaling, canary rollout",
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    def cluster_common(p):
+        common(p, models=SERVE_MODELS)
+        p.add_argument("--slo-ms", type=float, default=150.0,
+                       help="per-request latency SLO in milliseconds")
+        p.add_argument("--max-batch", type=int, default=16,
+                       help="dynamic batcher max_batch_size")
+        p.add_argument("--max-wait-ms", type=float, default=10.0,
+                       help="dynamic batcher deadline flush")
+        p.add_argument("--arrival", choices=("poisson", "bursty"), default="poisson")
+        p.add_argument("--window", type=float, default=10.0,
+                       help="control-loop evaluation window in modeled seconds")
+
+    p_place = cluster_sub.add_parser(
+        "place", help="bin-pack replica fleets onto hosts, full vs factorized"
+    )
+    common(p_place, models=SERVE_MODELS)
+    p_place.add_argument("--replicas", type=int, default=6,
+                         help="replica count packed for each variant")
+    p_place.add_argument("--host-mem-mb", type=float, default=12.0,
+                         help="host memory budget in MB")
+    p_place.add_argument("--host-rps", type=float, default=2000.0,
+                         help="host compute budget in requests/second")
+    p_place.add_argument("--host-cost", type=float, default=1.0,
+                         help="relative cost of one host")
+    p_place.add_argument("--overhead-mb", type=float, default=0.0,
+                         help="per-replica runtime memory overhead in MB")
+    p_place.add_argument("--placement", choices=("ffd", "best_fit", "spread"),
+                         default="ffd")
+    p_place.add_argument("--max-hosts", type=int, default=None,
+                         help="fleet size cap (excess replicas are rejected)")
+    p_place.add_argument("--profile-full", default=None, metavar="JSON",
+                         help="saved latency profile for the full variant")
+    p_place.add_argument("--profile-factorized", default=None, metavar="JSON",
+                         help="saved latency profile for the factorized variant")
+    p_place.add_argument("--out", default=None, metavar="JSON",
+                         help="write the full placement result")
+    p_place.set_defaults(func=cmd_cluster_place)
+
+    p_scale = cluster_sub.add_parser(
+        "autoscale", help="step a seeded load scenario through the control loop"
+    )
+    cluster_common(p_scale)
+    p_scale.add_argument("--variant", choices=("full", "factorized"),
+                         default="factorized")
+    p_scale.add_argument("--phases", default="250x60,450x60,250x60",
+                         metavar="RATExDUR,...",
+                         help="offered-load schedule, e.g. 250x60,450x60")
+    p_scale.add_argument("--policy", choices=("shed_rate", "target_utilization"),
+                         default="shed_rate")
+    p_scale.add_argument("--target", type=float, default=None,
+                         help="policy target (shed rate or utilization)")
+    p_scale.add_argument("--stable-windows", type=int, default=None,
+                         help="calm windows required before scale-down")
+    p_scale.add_argument("--initial-replicas", type=int, default=1)
+    p_scale.add_argument("--min-replicas", type=int, default=1)
+    p_scale.add_argument("--max-replicas", type=int, default=8)
+    p_scale.add_argument("--cooldown", type=int, default=1,
+                         help="windows to hold after a scale event")
+    p_scale.add_argument("--host-mem-mb", type=float, default=None,
+                         help="also pack the final fleet onto hosts of this size")
+    p_scale.add_argument("--host-rps", type=float, default=2000.0)
+    p_scale.add_argument("--latency-profile", default=None, metavar="JSON",
+                         help="replay a saved latency profile instead of measuring")
+    p_scale.add_argument("--timeline", default=None, metavar="JSON",
+                         help="write the windowed timeline + scale events")
+    p_scale.set_defaults(func=cmd_cluster_autoscale)
+
+    p_canary = cluster_sub.add_parser(
+        "canary", help="staged traffic shift full -> factorized, gated on shed delta"
+    )
+    cluster_common(p_canary)
+    p_canary.add_argument("--phases", default="400x120", metavar="RATExDUR,...")
+    p_canary.add_argument("--steps", default="0.05,0.25,0.5,1.0",
+                          help="canary traffic fractions, comma-separated")
+    p_canary.add_argument("--windows-per-step", type=int, default=3)
+    p_canary.add_argument("--tolerance", type=float, default=0.01,
+                          help="max allowed canary-minus-baseline shed delta")
+    p_canary.add_argument("--profile-full", default=None, metavar="JSON")
+    p_canary.add_argument("--profile-factorized", default=None, metavar="JSON")
+    p_canary.add_argument("--allow-rollback", action="store_true",
+                          help="exit 0 even when the rollout rolls back")
+    p_canary.set_defaults(func=cmd_cluster_canary)
     return parser
 
 

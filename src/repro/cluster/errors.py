@@ -1,0 +1,19 @@
+"""Typed exceptions for the cluster control plane.
+
+Mirrors the fault injector's :class:`~repro.distributed.errors.FaultSpecError`
+pattern: configuration mistakes raise :class:`ClusterConfigError` so the
+CLI can catch one type, print the message, and exit 2 instead of dumping
+a traceback at the operator.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ClusterError", "ClusterConfigError"]
+
+
+class ClusterError(Exception):
+    """Base class for cluster control-plane failures."""
+
+
+class ClusterConfigError(ClusterError, ValueError):
+    """A scenario/policy/host configuration that cannot be run."""

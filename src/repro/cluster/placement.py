@@ -1,0 +1,185 @@
+"""Replica placement: bin-packing model variants onto a shared host budget.
+
+Placement turns "how many replicas does each pool need" (the autoscaler's
+output, or a fixed fleet plan) into "how many hosts does that cost" —
+the number the Pufferfish serving story is about, since factorized
+replicas are memory-cheaper and more of them fit per host.
+
+Three policies, all deterministic:
+
+* ``ffd``      — first-fit-decreasing: sort replicas by memory (desc),
+  place each in the first host with room.  The classic 11/9·OPT+6/9
+  heuristic; the default.
+* ``best_fit`` — same order, but place in the feasible host that leaves
+  the *least* memory slack (tightest fit), consolidating the fleet.
+* ``spread``   — same order, but prefer the feasible host holding the
+  fewest replicas of the same ``model:variant`` (then the most free
+  memory), trading slack for fault-domain diversity.
+
+A replica that fits no open host opens a new one, up to ``max_hosts``;
+when the fleet is capped and nothing fits, the replica lands in
+``rejected`` — placement never silently drops work.  ``next_fit`` (the
+naive single-pass packer that only ever looks at the most recently
+opened host) is exposed as the property-test baseline: on the same
+decreasing order, first-fit never opens more hosts than next-fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
+from .errors import ClusterConfigError
+from .hosts import Host, HostSpec, ReplicaSpec
+
+__all__ = ["PLACEMENT_POLICIES", "PlacementResult", "pack", "next_fit", "lower_bound_hosts"]
+
+PLACEMENT_POLICIES = ("ffd", "best_fit", "spread")
+
+
+@dataclass
+class PlacementResult:
+    """Where every replica went (or why it could not go anywhere)."""
+
+    policy: str
+    host_spec: HostSpec
+    hosts: list[Host] = field(default_factory=list)
+    rejected: list[ReplicaSpec] = field(default_factory=list)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def n_placed(self) -> int:
+        return sum(len(h.replicas) for h in self.hosts)
+
+    @property
+    def fleet_cost(self) -> float:
+        return sum(h.spec.cost for h in self.hosts)
+
+    @property
+    def mem_utilization(self) -> float:
+        """Packed fraction of the provisioned memory (packing quality)."""
+        total = sum(h.spec.mem_bytes for h in self.hosts)
+        return sum(h.mem_used for h in self.hosts) / total if total else 0.0
+
+    def replica_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for h in self.hosts:
+            for r in h.replicas:
+                out[r.key] = out.get(r.key, 0) + 1
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "n_hosts": self.n_hosts,
+            "fleet_cost": round(self.fleet_cost, 6),
+            "mem_utilization": round(self.mem_utilization, 6),
+            "replica_counts": self.replica_counts(),
+            "n_rejected": len(self.rejected),
+            "rejected": sorted(r.key for r in self.rejected),
+            "hosts": [h.as_dict() for h in self.hosts],
+        }
+
+
+def _sorted_decreasing(replicas: list[ReplicaSpec]) -> list[ReplicaSpec]:
+    """Canonical decreasing order: memory, then capacity, then key.
+
+    The full tie-break chain makes placement a pure function of the
+    replica *multiset* — input order never matters for the packed result.
+    """
+    return sorted(
+        replicas, key=lambda r: (-r.mem_bytes, -r.capacity_rps, r.key)
+    )
+
+
+def _choose_host(policy: str, hosts: list[Host], replica: ReplicaSpec) -> Host | None:
+    feasible = [h for h in hosts if h.fits(replica)]
+    if not feasible:
+        return None
+    if policy == "ffd":
+        return feasible[0]
+    if policy == "best_fit":
+        return min(feasible, key=lambda h: (h.mem_free - replica.mem_bytes, h.index))
+    # spread: fewest same-key replicas, then most free memory, then index.
+    return min(
+        feasible,
+        key=lambda h: (h.count_of(replica.key), -h.mem_free, h.index),
+    )
+
+
+def pack(
+    replicas: list[ReplicaSpec],
+    host_spec: HostSpec,
+    policy: str = "ffd",
+    max_hosts: int | None = None,
+) -> PlacementResult:
+    """Pack ``replicas`` onto hosts of type ``host_spec``.
+
+    Deterministic: the result depends only on the replica multiset, the
+    host spec, the policy, and ``max_hosts``.
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise ClusterConfigError(
+            f"unknown placement policy {policy!r}; expected one of {PLACEMENT_POLICIES}"
+        )
+    if max_hosts is not None and max_hosts < 1:
+        raise ClusterConfigError("max_hosts must be >= 1")
+
+    result = PlacementResult(policy=policy, host_spec=host_spec)
+    with _trace.span("cluster.place", policy=policy, replicas=len(replicas)):
+        for replica in _sorted_decreasing(list(replicas)):
+            host = _choose_host(policy, result.hosts, replica)
+            if host is None:
+                can_open = max_hosts is None or len(result.hosts) < max_hosts
+                fits_empty = (
+                    replica.mem_bytes <= host_spec.mem_bytes
+                    and replica.capacity_rps <= host_spec.compute_rps
+                )
+                if can_open and fits_empty:
+                    host = Host(index=len(result.hosts), spec=host_spec)
+                    result.hosts.append(host)
+                else:
+                    result.rejected.append(replica)
+                    continue
+            host.place(replica)
+    if _metrics.COLLECT:
+        _metrics.REGISTRY.counter("cluster.replicas_placed").inc(result.n_placed)
+        _metrics.REGISTRY.counter("cluster.replicas_rejected").inc(len(result.rejected))
+        _metrics.REGISTRY.gauge("cluster.hosts").labels(policy=policy).set(result.n_hosts)
+        _metrics.REGISTRY.gauge("cluster.fleet_cost").labels(policy=policy).set(
+            result.fleet_cost
+        )
+    return result
+
+
+def next_fit(replicas: list[ReplicaSpec], host_spec: HostSpec) -> PlacementResult:
+    """The naive one-pass packer: only the most recently opened host is
+    ever considered.  Property-test baseline — on the same decreasing
+    order, first-fit placement never uses more hosts than this."""
+    result = PlacementResult(policy="next_fit", host_spec=host_spec)
+    for replica in _sorted_decreasing(list(replicas)):
+        fits_empty = (
+            replica.mem_bytes <= host_spec.mem_bytes
+            and replica.capacity_rps <= host_spec.compute_rps
+        )
+        if not fits_empty:
+            result.rejected.append(replica)
+            continue
+        if not result.hosts or not result.hosts[-1].fits(replica):
+            result.hosts.append(Host(index=len(result.hosts), spec=host_spec))
+        result.hosts[-1].place(replica)
+    return result
+
+
+def lower_bound_hosts(replicas: list[ReplicaSpec], host_spec: HostSpec) -> int:
+    """Volume lower bound on any feasible packing (memory and compute)."""
+    if not replicas:
+        return 0
+    mem = sum(r.mem_bytes for r in replicas) / host_spec.mem_bytes
+    rps = sum(r.capacity_rps for r in replicas) / host_spec.compute_rps
+    return max(math.ceil(mem), math.ceil(rps), 1)

@@ -1,0 +1,178 @@
+"""Pluggable autoscaling policies over windowed serving signals.
+
+A policy looks at one pool's recent evaluation windows (shed rate,
+utilization, replica count) and proposes a replica delta.  The control
+loop owns clamping (min/max replicas) and cooldown; the policy owns
+*when* to move and *by how much*.
+
+Both built-ins are hysteretic: the scale-up trigger and the scale-down
+trigger are separated by a dead band, and scale-down additionally waits
+for ``stable_windows`` consecutive calm windows.  Without that gap a
+pool sitting near the threshold flaps — scale up, look idle, scale
+down, shed, scale up … — which the oscillation test asserts cannot
+happen.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import ClusterConfigError
+
+__all__ = [
+    "POLICIES",
+    "WindowStats",
+    "ScalingPolicy",
+    "TargetUtilizationPolicy",
+    "ShedRatePolicy",
+    "make_policy",
+]
+
+POLICIES = ("target_utilization", "shed_rate")
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One pool's signals for one evaluation window."""
+
+    window: int
+    offered: int
+    shed_rate: float
+    utilization: float
+    replicas: int
+
+
+class ScalingPolicy:
+    """Base class: map recent window stats to a replica delta."""
+
+    name = "base"
+
+    def decide(self, history: list[WindowStats]) -> int:
+        """Return the proposed replica delta (+k grow, -k shrink, 0 hold).
+
+        ``history`` is the pool's full window history, most recent last;
+        it is never empty when called.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"name": self.name}
+
+
+@dataclass(frozen=True)
+class TargetUtilizationPolicy(ScalingPolicy):
+    """Keep pool utilization inside a dead band around a target.
+
+    Scale up proportionally when the last window's utilization exceeds
+    ``high`` (enough replicas to bring it back to ``target``); scale down
+    one replica at a time when utilization stayed under ``low`` for
+    ``stable_windows`` consecutive windows.
+    """
+
+    target: float = 0.6
+    high: float = 0.8
+    low: float = 0.3
+    stable_windows: int = 3
+
+    name = "target_utilization"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ClusterConfigError("target utilization must be in (0, 1)")
+        if not self.low < self.target <= self.high:
+            raise ClusterConfigError(
+                "need low < target <= high for a hysteresis dead band"
+            )
+        if self.stable_windows < 1:
+            raise ClusterConfigError("stable_windows must be >= 1")
+
+    def decide(self, history: list[WindowStats]) -> int:
+        last = history[-1]
+        if last.utilization > self.high:
+            # Replicas needed to pull utilization back to target, given
+            # busy-time scales ~1/replicas at fixed offered load.
+            want = math.ceil(last.replicas * last.utilization / self.target)
+            return max(want - last.replicas, 1)
+        recent = history[-self.stable_windows :]
+        if (
+            len(recent) >= self.stable_windows
+            and all(w.utilization < self.low for w in recent)
+            and last.replicas > 1
+        ):
+            return -1
+        return 0
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "high": self.high,
+            "low": self.low,
+            "stable_windows": self.stable_windows,
+        }
+
+
+@dataclass(frozen=True)
+class ShedRatePolicy(ScalingPolicy):
+    """Chase an SLO shed-rate target directly.
+
+    Scale up whenever the last window shed more than ``target`` (one
+    replica per ``step_shed`` of excess, at least one); scale down only
+    after ``stable_windows`` consecutive windows with zero shed *and*
+    utilization low enough that losing a replica keeps the pool under
+    ``max_util_after_shrink`` — the hysteresis that stops the
+    shed→grow→idle→shrink→shed loop.
+    """
+
+    target: float = 0.01
+    step_shed: float = 0.10
+    stable_windows: int = 3
+    max_util_after_shrink: float = 0.7
+
+    name = "shed_rate"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target < 1.0:
+            raise ClusterConfigError("target shed rate must be in [0, 1)")
+        if self.step_shed <= 0:
+            raise ClusterConfigError("step_shed must be positive")
+        if self.stable_windows < 1:
+            raise ClusterConfigError("stable_windows must be >= 1")
+        if not 0.0 < self.max_util_after_shrink <= 1.0:
+            raise ClusterConfigError("max_util_after_shrink must be in (0, 1]")
+
+    def decide(self, history: list[WindowStats]) -> int:
+        last = history[-1]
+        if last.shed_rate > self.target:
+            excess = last.shed_rate - self.target
+            return max(1, int(excess / self.step_shed))
+        recent = history[-self.stable_windows :]
+        if (
+            len(recent) >= self.stable_windows
+            and all(w.shed_rate <= self.target for w in recent)
+            and last.replicas > 1
+        ):
+            # Projected utilization if one replica is removed.
+            projected = last.utilization * last.replicas / (last.replicas - 1)
+            if projected < self.max_util_after_shrink:
+                return -1
+        return 0
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "step_shed": self.step_shed,
+            "stable_windows": self.stable_windows,
+            "max_util_after_shrink": self.max_util_after_shrink,
+        }
+
+
+def make_policy(name: str, **kwargs) -> ScalingPolicy:
+    """Build a policy by registry name (the CLI entry point)."""
+    if name == "target_utilization":
+        return TargetUtilizationPolicy(**kwargs)
+    if name == "shed_rate":
+        return ShedRatePolicy(**kwargs)
+    raise ClusterConfigError(f"unknown policy {name!r}; expected one of {POLICIES}")

@@ -30,7 +30,7 @@ Typical use::
     )
 
     served = default_registry().materialize("vgg19", "factorized", width=0.25)
-    profile = measure_latency_profile(served.model, served.input_shape)
+    profile = measure_latency_profile(served.model, served.input_spec)
     sim = ServeSimulator(profile, ServeConfig(slo_s=0.15, policy=BatchPolicy(16, 0.01)))
     report = sim.run(generate_arrivals(ArrivalSpec(rate_rps=300, duration_s=10, seed=0)))
     print(report.summary())
@@ -38,15 +38,19 @@ Typical use::
 
 from .admission import SHED_ADMISSION, SHED_DEADLINE, AdmissionController, AdmissionDecision
 from .batcher import BatchPolicy, DynamicBatcher, Request
+from .inputs import INPUT_KINDS, InputSpec
 from .latency import DEFAULT_BATCH_SIZES, LatencyProfile, measure_latency_profile
 from .loadgen import ArrivalSpec, generate_arrivals
 from .registry import (
+    IMAGE_MODELS,
+    SEQUENCE_MODELS,
     VARIANTS,
     ModelRegistry,
     ServedModel,
     build_model,
     default_registry,
     hybrid_config_for,
+    input_spec_for,
 )
 from .simulator import BatchRecord, RequestOutcome, ServeConfig, ServeReport, ServeSimulator
 
@@ -60,15 +64,20 @@ __all__ = [
     "BatchPolicy",
     "DynamicBatcher",
     "Request",
+    "InputSpec",
+    "INPUT_KINDS",
     "LatencyProfile",
     "DEFAULT_BATCH_SIZES",
     "measure_latency_profile",
     "VARIANTS",
+    "IMAGE_MODELS",
+    "SEQUENCE_MODELS",
     "ModelRegistry",
     "ServedModel",
     "build_model",
     "default_registry",
     "hybrid_config_for",
+    "input_spec_for",
     "BatchRecord",
     "RequestOutcome",
     "ServeConfig",

@@ -1,0 +1,90 @@
+"""Input-spec metadata: what one example looks like, per zoo model.
+
+The original serving registry assumed every model eats NCHW CIFAR-shaped
+images, which locked the LSTM/Transformer zoo out of the serving stack
+(their inputs are integer token sequences, and the seq2seq model takes
+*two* of them).  An :class:`InputSpec` records the modality and shape of
+one example and knows how to synthesize a batch of them, so
+:func:`~repro.serve.latency.measure_latency_profile` and the registry's
+MACs accounting work for any registered architecture.
+
+Three kinds cover the zoo:
+
+* ``image``   — float32 batch of shape ``(B, *shape)`` wrapped in a
+  :class:`~repro.tensor.Tensor` (conv/MLP models);
+* ``tokens``  — int64 token matrix of shape ``(T, B)`` (time-major, the
+  LSTM LM convention); ``shape == (T,)``;
+* ``seq2seq`` — a ``(src, tgt)`` pair of int64 ``(B, T)`` matrices (the
+  encoder-decoder Transformer convention); ``shape == (T,)``.
+
+Token draws avoid index 0 so a model's ``padding_idx`` never receives
+accidental pad tokens during measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InputSpec", "INPUT_KINDS"]
+
+INPUT_KINDS = ("image", "tokens", "seq2seq")
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Shape/modality of one example input for a served model.
+
+    ``shape`` is per-example: channel-height-width for images, sequence
+    length for token models.  ``vocab_size`` bounds the integer draws for
+    the token kinds (required there, meaningless for images).
+    """
+
+    kind: str
+    shape: tuple[int, ...]
+    vocab_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in INPUT_KINDS:
+            raise ValueError(f"unknown input kind {self.kind!r}; expected {INPUT_KINDS}")
+        if not self.shape or any(int(d) <= 0 for d in self.shape):
+            raise ValueError("shape must be non-empty with positive dims")
+        if self.kind in ("tokens", "seq2seq"):
+            if len(self.shape) != 1:
+                raise ValueError(f"{self.kind} spec needs shape (seq_len,)")
+            if self.vocab_size is None or self.vocab_size < 2:
+                raise ValueError(f"{self.kind} spec needs vocab_size >= 2")
+
+    def example_batch(self, batch: int, rng: np.random.Generator) -> tuple:
+        """Positional args for one ``model(*args)`` call of ``batch`` examples."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.kind == "image":
+            from ..tensor import Tensor
+
+            x = rng.standard_normal((batch, *self.shape)).astype(np.float32)
+            return (Tensor(x),)
+        t = int(self.shape[0])
+        if self.kind == "tokens":
+            # Time-major (T, B), matching LSTMLanguageModel.forward.
+            return (rng.integers(1, self.vocab_size, size=(t, batch)),)
+        src = rng.integers(1, self.vocab_size, size=(batch, t))
+        tgt = rng.integers(1, self.vocab_size, size=(batch, t))
+        return (src, tgt)
+
+    # -- serialization (ServedModel.describe / CLI output) --------------
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "shape": list(self.shape)}
+        if self.vocab_size is not None:
+            out["vocab_size"] = self.vocab_size
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InputSpec":
+        return cls(
+            kind=str(data["kind"]),
+            shape=tuple(int(d) for d in data["shape"]),
+            vocab_size=(int(data["vocab_size"]) if data.get("vocab_size") else None),
+        )

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
-from ..tensor import Tensor, no_grad
+from ..tensor import no_grad
 
 __all__ = ["LatencyProfile", "measure_latency_profile", "DEFAULT_BATCH_SIZES"]
 
@@ -114,7 +114,7 @@ class LatencyProfile:
 
 def measure_latency_profile(
     model,
-    input_shape: tuple[int, ...],
+    input_spec,
     batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
     repeats: int = 3,
     warmup: int = 1,
@@ -122,27 +122,36 @@ def measure_latency_profile(
 ) -> LatencyProfile:
     """Time real ``no_grad`` eval-mode forwards at each batch size.
 
+    ``input_spec`` is either an :class:`~repro.serve.inputs.InputSpec`
+    (any modality — images, token sequences, seq2seq pairs) or a plain
+    per-example shape tuple, which is treated as an image spec for
+    backward compatibility.
+
     Best-of-``repeats`` per batch size (minimum is the standard estimator
     for a noise-floored quantity).  The model is put in eval mode so
     dropout/BN behave as they will in serving, and the whole measurement
     runs under ``no_grad`` — no autograd graph is built, which the
     eval-path test suite asserts engine-wide.
     """
+    from .inputs import InputSpec
+
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if not isinstance(input_spec, InputSpec):
+        input_spec = InputSpec("image", tuple(int(d) for d in input_spec))
     model.eval()
     rng = np.random.default_rng(0)
     latencies: list[float] = []
     with no_grad():
         for b in batch_sizes:
-            x = Tensor(rng.standard_normal((b, *input_shape)).astype(np.float32))
+            args = input_spec.example_batch(b, rng)
             with _trace.span("serve.measure", batch=b):
                 for _ in range(warmup):
-                    model(x)
+                    model(*args)
                 best = float("inf")
                 for _ in range(repeats):
                     t0 = time.perf_counter()
-                    model(x)
+                    model(*args)
                     best = min(best, time.perf_counter() - t0)
             latencies.append(best)
             if _metrics.COLLECT:

@@ -22,25 +22,50 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..observability import metrics as _metrics
+from .inputs import InputSpec
 
 __all__ = [
     "VARIANTS",
     "ServedModel",
     "ModelRegistry",
     "build_model",
+    "input_spec_for",
     "hybrid_config_for",
     "default_registry",
+    "IMAGE_MODELS",
+    "SEQUENCE_MODELS",
 ]
 
 VARIANTS = ("full", "factorized")
 
-# One canonical example-input shape serves the whole zoo: the conv models
-# take NCHW CIFAR-shaped images and MLP flattens them internally.
+# The conv models take NCHW CIFAR-shaped images (MLP flattens them
+# internally); the sequence zoo declares its own token specs below.
 INPUT_SHAPE = (3, 32, 32)
+
+IMAGE_MODELS = ("mlp", "vgg11", "vgg19", "resnet18", "resnet50", "wideresnet50")
+SEQUENCE_MODELS = ("lstm", "transformer")
+
+# Serving-scale sequence-model knobs: vocab and sequence length are fixed
+# per model (they are task properties, not capacity knobs); ``width``
+# scales the embedding/d_model dimension like the conv width multiplier.
+_SEQ_VOCAB = 50
+_LSTM_SEQ_LEN = 16
+_TRANSFORMER_SEQ_LEN = 12
+_BASE_DIM = 128  # width 1.0 embedding / d_model
+
+
+def _seq_dim(width: float, multiple_of: int = 4) -> int:
+    """Width-scaled embedding dim, floored and rounded for head splits."""
+    dim = max(multiple_of, int(_BASE_DIM * width))
+    return dim - dim % multiple_of
 
 
 def build_model(name: str, num_classes: int = 4, width: float = 0.25):
-    """Construct a zoo model by name (the CLI's model table lives here)."""
+    """Construct a zoo model by name (the CLI's model table lives here).
+
+    For the sequence models ``num_classes`` is ignored (their output space
+    is the fixed vocabulary) and ``width`` scales the hidden dimension.
+    """
     from .. import models
 
     if name == "mlp":
@@ -57,6 +82,27 @@ def build_model(name: str, num_classes: int = 4, width: float = 0.25):
         return models.wide_resnet50_2(
             num_classes=num_classes, width_mult=width, small_input=True
         )
+    if name == "lstm":
+        return models.LSTMLanguageModel(_SEQ_VOCAB, embed_dim=_seq_dim(width))
+    if name == "transformer":
+        return models.Seq2SeqTransformer(
+            _SEQ_VOCAB,
+            d_model=_seq_dim(width),
+            n_heads=4,
+            num_layers=2,
+            max_len=4 * _TRANSFORMER_SEQ_LEN,
+        )
+    raise ValueError(f"unknown model {name!r}")
+
+
+def input_spec_for(name: str) -> InputSpec:
+    """The example-input metadata for a zoo model (see :mod:`.inputs`)."""
+    if name in IMAGE_MODELS:
+        return InputSpec("image", INPUT_SHAPE)
+    if name == "lstm":
+        return InputSpec("tokens", (_LSTM_SEQ_LEN,), vocab_size=_SEQ_VOCAB)
+    if name == "transformer":
+        return InputSpec("seq2seq", (_TRANSFORMER_SEQ_LEN,), vocab_size=_SEQ_VOCAB)
     raise ValueError(f"unknown model {name!r}")
 
 
@@ -73,6 +119,10 @@ def hybrid_config_for(name: str, model, rank_ratio: float = 0.25):
         return models.resnet18_hybrid_config(model, rank_ratio)
     if name in ("resnet50", "wideresnet50"):
         return models.resnet50_hybrid_config(model, rank_ratio)
+    if name == "lstm":
+        return models.lstm_lm_hybrid_config(rank_ratio)
+    if name == "transformer":
+        return models.transformer_hybrid_config(rank_ratio)
     return FactorizationConfig(rank_ratio=rank_ratio)
 
 
@@ -87,6 +137,16 @@ class ServedModel:
     macs: int
     input_shape: tuple[int, ...]
     factorization: dict | None = None  # params_before/after, compression, ...
+    input_spec: InputSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.input_spec is None:
+            self.input_spec = InputSpec("image", self.input_shape)
+
+    def memory_bytes(self, bytes_per_param: int = 4) -> int:
+        """Resident weight footprint of one replica (fp32 by default) —
+        the memory cost the cluster placement engine bin-packs."""
+        return self.params * bytes_per_param
 
     def describe(self) -> dict:
         out = {
@@ -94,6 +154,7 @@ class ServedModel:
             "variant": self.variant,
             "params": self.params,
             "macs": self.macs,
+            "input": self.input_spec.to_dict(),
         }
         if self.factorization:
             out["factorization"] = dict(self.factorization)
@@ -142,7 +203,6 @@ class ModelRegistry:
 
         from ..core import build_hybrid
         from ..metrics import measure_macs
-        from ..tensor import Tensor
         from ..utils import set_seed
 
         set_seed(seed)
@@ -161,15 +221,17 @@ class ModelRegistry:
 
             load_model(model, checkpoint)
         model.eval()
-        example = Tensor(np.zeros((1, *INPUT_SHAPE), dtype=np.float32))
+        spec = input_spec_for(name)
+        example = spec.example_batch(1, np.random.default_rng(0))
         served = ServedModel(
             name=name,
             variant=variant,
             model=model,
             params=int(model.num_parameters()),
-            macs=int(measure_macs(model, example)),
-            input_shape=INPUT_SHAPE,
+            macs=int(measure_macs(model, *example)),
+            input_shape=spec.shape,
             factorization=factorization,
+            input_spec=spec,
         )
         self._cache[key] = served
         if _metrics.COLLECT:
@@ -180,8 +242,8 @@ class ModelRegistry:
 
 
 def default_registry() -> ModelRegistry:
-    """A fresh registry holding the full model zoo."""
+    """A fresh registry holding the full model zoo (conv + sequence)."""
     registry = ModelRegistry()
-    for name in ("mlp", "vgg11", "vgg19", "resnet18", "resnet50", "wideresnet50"):
+    for name in IMAGE_MODELS + SEQUENCE_MODELS:
         registry.register(name, lambda c, w, _n=name: build_model(_n, c, w))
     return registry

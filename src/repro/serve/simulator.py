@@ -114,6 +114,7 @@ class ServeReport:
     outcomes: list[RequestOutcome]
     batches: list[BatchRecord]
     queue_depths: list[int]  # sampled at every arrival, post-decision
+    replicas: int = 1
 
     # -- derived --------------------------------------------------------
 
@@ -158,6 +159,18 @@ class ServeReport:
     def throughput_rps(self) -> float:
         return self.n_completed / self.duration_s if self.duration_s > 0 else 0.0
 
+    @property
+    def busy_s(self) -> float:
+        """Total replica-seconds spent inside measured forward passes."""
+        return sum(b.service_s for b in self.batches)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the replica pool over the run — the
+        autoscaler's scale-down signal (shed rate is its scale-up one)."""
+        wall = self.duration_s * self.replicas
+        return min(self.busy_s / wall, 1.0) if wall > 0 else 0.0
+
     def latency_quantile(self, q: float) -> float:
         xs = [o.latency_s for o in self.outcomes if o.status == COMPLETED]
         if not xs:
@@ -181,6 +194,7 @@ class ServeReport:
             "n_shed_deadline": shed[SHED_DEADLINE],
             "shed_rate": round(self.shed_rate, 6),
             "slo_miss_rate": round(self.slo_miss_rate, 6),
+            "utilization": round(self.utilization, 6),
             "throughput_rps": round(self.throughput_rps, 6),
             "goodput_rps": round(self.goodput_rps, 6),
             "p50_ms": round(self.latency_quantile(0.50) * 1e3, 6),
@@ -212,11 +226,20 @@ class ServeReport:
 
 
 class ServeSimulator:
-    """One replica pool serving one model variant under offered load."""
+    """One replica pool serving one model variant under offered load.
 
-    def __init__(self, profile: LatencyProfile, config: ServeConfig):
+    ``pool`` names this replica pool in the observability registry: the
+    run maintains *live* ``serve.pool.shed_rate{pool=...}`` and
+    ``serve.pool.utilization{pool=...}`` gauges, updated at every
+    admission decision and batch dispatch rather than once at the end —
+    they are the autoscaler's input signal, and at run end they equal the
+    report summary exactly.
+    """
+
+    def __init__(self, profile: LatencyProfile, config: ServeConfig, pool: str = "pool0"):
         self.profile = profile
         self.config = config
+        self.pool = pool
         self.admission = AdmissionController(profile, config.policy)
 
     def run(self, arrival_times, duration_s: float | None = None) -> ServeReport:
@@ -239,6 +262,21 @@ class ServeSimulator:
         queue_depths: list[int] = []
         collect = _metrics.COLLECT
         last_completion = 0.0
+        # Live per-pool signal: running shed fraction and busy fraction,
+        # updated as the modeled clock advances (not end-of-run-only).
+        shed_gauge = util_gauge = None
+        n_seen = n_shed_live = 0
+        busy_s = 0.0
+        if collect:
+            shed_gauge = _metrics.REGISTRY.gauge("serve.pool.shed_rate").labels(
+                pool=self.pool
+            )
+            util_gauge = _metrics.REGISTRY.gauge("serve.pool.utilization").labels(
+                pool=self.pool
+            )
+            _metrics.REGISTRY.gauge("serve.pool.replicas").labels(pool=self.pool).set(
+                cfg.replicas
+            )
 
         i, n = 0, len(requests)
         with _trace.span("serve.run", requests=n, replicas=cfg.replicas):
@@ -258,6 +296,7 @@ class ServeSimulator:
                     req = requests[i]
                     i += 1
                     decision = self.admission.assess(req, len(batcher), pool[0][0])
+                    n_seen += 1
                     if collect:
                         _metrics.REGISTRY.counter("serve.requests").inc()
                         _metrics.REGISTRY.histogram("serve.queue_depth").observe(
@@ -271,10 +310,13 @@ class ServeSimulator:
                         outcomes[req.rid] = RequestOutcome(
                             req.rid, req.arrival_s, f"shed_{SHED_ADMISSION}"
                         )
+                        n_shed_live += 1
                         if collect:
                             _metrics.REGISTRY.counter("serve.shed").labels(
                                 reason=SHED_ADMISSION
                             ).inc()
+                    if collect:
+                        shed_gauge.set(n_shed_live / n_seen)
                     queue_depths.append(len(batcher))
                     continue
 
@@ -286,12 +328,15 @@ class ServeSimulator:
                         outcomes[req.rid] = RequestOutcome(
                             req.rid, req.arrival_s, f"shed_{SHED_DEADLINE}"
                         )
+                        n_shed_live += 1
                         if collect:
                             _metrics.REGISTRY.counter("serve.shed").labels(
                                 reason=SHED_DEADLINE
                             ).inc()
                     else:
                         live.append(req)
+                if collect and n_seen:
+                    shed_gauge.set(n_shed_live / n_seen)
                 if not live:
                     continue
                 service = self.profile.latency(len(live))
@@ -319,7 +364,13 @@ class ServeSimulator:
                             slo_ok=completion <= req.deadline_s,
                             batch=record.index,
                         )
+                busy_s += service
                 if collect:
+                    util_gauge.set(
+                        min(busy_s / (last_completion * cfg.replicas), 1.0)
+                        if last_completion > 0
+                        else 0.0
+                    )
                     _metrics.REGISTRY.counter("serve.batches").inc()
                     _metrics.REGISTRY.counter("serve.completed").inc(len(live))
                     _metrics.REGISTRY.histogram("serve.batch_size").observe(len(live))
@@ -337,8 +388,13 @@ class ServeSimulator:
             outcomes=[o for o in outcomes if o is not None],
             batches=batches,
             queue_depths=queue_depths,
+            replicas=cfg.replicas,
         )
         if collect:
+            # Final gauge state equals the run summary exactly (the live
+            # updates above converge to these values).
+            shed_gauge.set(report.shed_rate)
+            util_gauge.set(report.utilization)
             _metrics.REGISTRY.gauge("serve.shed_rate").set(report.shed_rate)
             _metrics.REGISTRY.gauge("serve.throughput_rps").set(report.throughput_rps)
             _metrics.REGISTRY.gauge("serve.p95_ms").set(

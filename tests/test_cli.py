@@ -269,3 +269,154 @@ class TestServeCommand:
     def test_serve_rejects_unknown_variant(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--variant", "half"])
+
+
+class TestClusterCommand:
+    """`repro cluster` — placement, autoscaling, and canary subcommands,
+    all replaying saved latency profiles so no live measurement runs."""
+
+    BATCHES = (1, 2, 4, 8, 16, 32)
+    FULL_S = (0.0047, 0.0074, 0.0124, 0.0212, 0.0392, 0.0769)
+    FACT_S = (0.0043, 0.0064, 0.0119, 0.0205, 0.0371, 0.0721)
+
+    @pytest.fixture
+    def profiles(self, tmp_path):
+        from repro.serve import LatencyProfile
+
+        full = tmp_path / "full.json"
+        fact = tmp_path / "fact.json"
+        LatencyProfile(self.BATCHES, self.FULL_S).save(full)
+        LatencyProfile(self.BATCHES, self.FACT_S).save(fact)
+        return str(full), str(fact)
+
+    def test_place_compares_variants(self, profiles, capsys):
+        full, fact = profiles
+        rc = main([
+            "cluster", "place", "--model", "vgg19", "--width", "0.25",
+            "--replicas", "6", "--profile-full", full,
+            "--profile-factorized", fact,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "factorized fleet uses 2/3 hosts" in out
+        assert "lower bound" in out
+
+    def test_place_writes_json(self, profiles, tmp_path, capsys):
+        import json
+
+        full, fact = profiles
+        out_path = tmp_path / "placement.json"
+        rc = main([
+            "cluster", "place", "--model", "vgg19", "--width", "0.25",
+            "--replicas", "4", "--profile-full", full,
+            "--profile-factorized", fact, "--out", str(out_path),
+        ])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"full", "factorized"}
+        for placement in payload.values():
+            assert placement["n_hosts"] >= 1
+            assert placement["rejected"] == []
+
+    def test_place_rejects_bad_replicas(self, capsys):
+        rc = main(["cluster", "place", "--model", "vgg19", "--replicas", "0"])
+        assert rc == 2
+        assert "bad cluster configuration" in capsys.readouterr().err
+
+    def test_autoscale_deterministic_digest(self, profiles, capsys):
+        _, fact = profiles
+        args = [
+            "cluster", "autoscale", "--model", "vgg19", "--width", "0.25",
+            "--phases", "200x20,500x20", "--latency-profile", fact,
+            "--seed", "11",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "scale events" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        digest = [l for l in first.splitlines() if "timeline digest" in l]
+        assert digest == [l for l in second.splitlines() if "timeline digest" in l]
+        assert digest
+
+    def test_autoscale_timeline_and_hosts(self, profiles, tmp_path, capsys):
+        import json
+
+        _, fact = profiles
+        out_path = tmp_path / "timeline.json"
+        rc = main([
+            "cluster", "autoscale", "--model", "vgg19", "--width", "0.25",
+            "--phases", "200x20,500x20", "--latency-profile", fact,
+            "--host-mem-mb", "12", "--timeline", str(out_path),
+        ])
+        assert rc == 0
+        assert "final fleet:" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"summary", "windows", "events"}
+        assert payload["summary"]["n_windows"] == 4
+
+    def test_autoscale_rejects_bad_phases(self, capsys):
+        rc = main(["cluster", "autoscale", "--phases", "bogus"])
+        assert rc == 2
+        assert "bad cluster configuration" in capsys.readouterr().err
+
+    def test_autoscale_rejects_bad_pool_bounds(self, profiles, capsys):
+        _, fact = profiles
+        rc = main([
+            "cluster", "autoscale", "--model", "vgg19", "--width", "0.25",
+            "--phases", "200x20", "--latency-profile", fact,
+            "--initial-replicas", "0",
+        ])
+        assert rc == 2
+        assert "bad cluster configuration" in capsys.readouterr().err
+
+    def test_canary_promotes(self, profiles, capsys):
+        full, fact = profiles
+        rc = main([
+            "cluster", "canary", "--model", "vgg19", "--width", "0.25",
+            "--phases", "120x60", "--steps", "0.5,1.0",
+            "--windows-per-step", "1", "--profile-full", full,
+            "--profile-factorized", fact,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "status: promoted" in out
+        assert "advance" in out
+
+    def test_canary_rollback_exit_code(self, tmp_path, capsys):
+        from repro.serve import LatencyProfile
+
+        full = tmp_path / "full.json"
+        slow = tmp_path / "slow.json"
+        LatencyProfile(self.BATCHES, self.FULL_S).save(full)
+        LatencyProfile(
+            self.BATCHES, tuple(40 * t for t in self.FACT_S)
+        ).save(slow)
+        args = [
+            "cluster", "canary", "--model", "vgg19", "--width", "0.25",
+            "--phases", "120x60", "--steps", "0.5,1.0",
+            "--windows-per-step", "1", "--profile-full", str(full),
+            "--profile-factorized", str(slow),
+        ]
+        assert main(args) == 1
+        assert "status: rolled_back" in capsys.readouterr().out
+        assert main(args + ["--allow-rollback"]) == 0
+        capsys.readouterr()
+
+    def test_canary_rejects_bad_steps(self, capsys):
+        rc = main(["cluster", "canary", "--steps", "a,b"])
+        assert rc == 2
+        assert "bad cluster configuration" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["cluster", "autoscale"])
+        assert args.policy == "shed_rate"
+        assert args.max_replicas == 8
+        assert args.window == 10.0
+        place = build_parser().parse_args(["cluster", "place"])
+        assert place.host_mem_mb == 12.0
+        assert place.placement == "ffd"
+
+    def test_requires_cluster_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])

@@ -130,3 +130,102 @@ def test_repo_experiments_md_is_current():
     committed = regen.EXPERIMENTS.read_text()
     for line in lines:
         assert line in committed
+
+
+FAULTS_ARTIFACT = {
+    "scenarios": {
+        "drop_p0.1": {"events": 5, "retries": 5, "backoff_s": 0.05,
+                      "recovery_s": 0.0, "comm_s": 0.5, "other_s": 0.0},
+        "straggler": {"events": 12, "retries": 0, "backoff_s": 0.0,
+                      "recovery_s": 1.25, "comm_s": 0.04, "other_s": 0.0},
+    }
+}
+
+OVERLAP_ARTIFACT = {
+    "scenarios": {
+        "bucket_structure": {"n_buckets": 2, "sizes": [1_000_000, 2_000_000],
+                             "offsets": [2_000_000, 0]},
+        "overlap_mlp": {"payload_bytes": 3_000_000},
+        "fused_sgd": {"n_tensors": 10, "n_params": 750_000},
+    }
+}
+
+CLUSTER_ARTIFACT = {
+    "scenarios": {
+        "fleet_cost": {
+            "host_mem_mb": 12.0, "host_rps": 2000.0, "replicas_per_variant": 6,
+            "variants": {
+                "full": {"replica_mem_mb": 5.15, "capacity_rps": 416.0,
+                         "n_hosts": 3, "fleet_cost": 3.0, "shed_rate": 0.05},
+                "factorized": {"replica_mem_mb": 2.10, "capacity_rps": 444.0,
+                               "n_hosts": 2, "fleet_cost": 2.0, "shed_rate": 0.014},
+            },
+        },
+        "autoscale_spike": {
+            "phases": "250x60,450x60", "window_s": 10.0, "policy": "shed_rate",
+            "initial_replicas": 1, "final_replicas": 2, "max_replicas": 2,
+            "n_scale_events": 1, "oscillations": 0, "steady_state_shed": 0.0,
+            "timeline_digest": "abcd1234",
+        },
+    }
+}
+
+
+class TestSatelliteGenerators:
+    """The faults/overlap/cluster tables ride the same marker machinery."""
+
+    def test_fault_injection_table(self, tmp_path):
+        (tmp_path / "BENCH_faults.json").write_text(json.dumps(FAULTS_ARTIFACT))
+        doc = ("<!-- regen:fault_injection source=BENCH_faults.json -->\n"
+               "old\n<!-- regen:end -->")
+        new, names = regen.regenerate(doc, tmp_path)
+        assert names == ["fault_injection"]
+        assert "| `drop_p0.1` | 5 | 5 | 50 | 0.000 | 0.5000 |" in new
+        assert "| `straggler` | 12 | 0 | 0 | 1.250 | 0.0400 |" in new
+
+    def test_overlap_buckets_table(self, tmp_path):
+        (tmp_path / "BENCH_overlap.json").write_text(json.dumps(OVERLAP_ARTIFACT))
+        doc = ("<!-- regen:overlap_buckets source=BENCH_overlap.json -->\n"
+               "old\n<!-- regen:end -->")
+        new, names = regen.regenerate(doc, tmp_path)
+        assert names == ["overlap_buckets"]
+        assert "2 buckets over 3,000,000 payload bytes" in new
+        assert "10 tensors / 750,000 parameters" in new
+        assert "| 0 | 1.00 | 2.00 |" in new
+
+    def test_cluster_fleet_table(self, tmp_path):
+        (tmp_path / "BENCH_cluster.json").write_text(json.dumps(CLUSTER_ARTIFACT))
+        doc = ("<!-- regen:cluster_fleet source=BENCH_cluster.json -->\n"
+               "old\n<!-- regen:end -->")
+        new, names = regen.regenerate(doc, tmp_path)
+        assert names == ["cluster_fleet"]
+        assert "| full | 5.15 | 416 | 3 | 3.0 | 5.00% |" in new
+        assert "| factorized | 2.10 | 444 | 2 | 2.0 | 1.40% |" in new
+        assert "replicas 1 → 2 (peak 2)" in new
+        assert "`abcd1234`" in new
+
+    def test_multiple_markers_in_one_pass(self, tmp_path):
+        (tmp_path / "BENCH_faults.json").write_text(json.dumps(FAULTS_ARTIFACT))
+        (tmp_path / "BENCH_overlap.json").write_text(json.dumps(OVERLAP_ARTIFACT))
+        doc = ("<!-- regen:fault_injection source=BENCH_faults.json -->\n"
+               "a\n<!-- regen:end -->\n\n"
+               "<!-- regen:overlap_buckets source=BENCH_overlap.json -->\n"
+               "b\n<!-- regen:end -->")
+        new, names = regen.regenerate(doc, tmp_path)
+        assert names == ["fault_injection", "overlap_buckets"]
+        once, _ = regen.regenerate(new, tmp_path)
+        assert once == new
+
+    def test_repo_faults_section_is_current(self):
+        baseline = Path(regen.REPO_ROOT) / "benchmarks" / "baselines" / "faults_baseline.json"
+        lines = regen.gen_fault_injection(json.loads(baseline.read_text()))
+        committed = regen.EXPERIMENTS.read_text()
+        for line in lines:
+            assert line in committed
+
+    def test_repo_cluster_section_is_current(self):
+        baseline = Path(regen.REPO_ROOT) / "benchmarks" / "baselines" / "cluster_baseline.json"
+        lines = regen.gen_cluster_fleet(json.loads(baseline.read_text()))
+        committed = regen.EXPERIMENTS.read_text()
+        for line in lines:
+            assert line in committed

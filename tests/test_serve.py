@@ -286,3 +286,127 @@ class TestServeSimulator:
             report.throughput_rps
         )
         assert "serve.latency_ms" in snap["histograms"]
+
+    def test_pool_gauges_match_run_summary(self):
+        """The live per-pool gauges are the autoscaler's input signal;
+        at run end they must equal the report summary exactly — not a
+        separate end-of-run accounting path."""
+        obs.enable_metrics()
+        arrivals = generate_arrivals(ArrivalSpec(rate_rps=500, duration_s=2, seed=3))
+        cfg = ServeConfig(slo_s=0.03, policy=BatchPolicy(4, 0.005), replicas=2)
+        report = ServeSimulator(flat_profile(0.012), cfg, pool="edge").run(
+            arrivals, duration_s=2.0
+        )
+        gauges = obs.get_registry().snapshot()["gauges"]
+        assert gauges["serve.pool.shed_rate{pool=edge}"] == pytest.approx(
+            report.shed_rate
+        )
+        assert gauges["serve.pool.utilization{pool=edge}"] == pytest.approx(
+            report.utilization
+        )
+        assert gauges["serve.pool.replicas{pool=edge}"] == 2
+        assert report.summary()["utilization"] == pytest.approx(
+            report.utilization, abs=1e-6
+        )
+        assert 0.0 < report.utilization <= 1.0
+
+    def test_pools_keep_separate_gauges(self):
+        obs.enable_metrics()
+        arrivals = generate_arrivals(ArrivalSpec(rate_rps=200, duration_s=1, seed=3))
+        cfg = ServeConfig(slo_s=0.05, policy=BatchPolicy(8, 0.005))
+        ra = ServeSimulator(flat_profile(0.001), cfg, pool="a").run(arrivals, 1.0)
+        rb = ServeSimulator(flat_profile(0.030), cfg, pool="b").run(arrivals, 1.0)
+        gauges = obs.get_registry().snapshot()["gauges"]
+        assert gauges["serve.pool.shed_rate{pool=a}"] == pytest.approx(ra.shed_rate)
+        assert gauges["serve.pool.shed_rate{pool=b}"] == pytest.approx(rb.shed_rate)
+        assert rb.shed_rate > ra.shed_rate
+
+
+class TestInputSpecs:
+    def test_image_spec_batch_shape(self):
+        from repro.serve import InputSpec
+
+        rng = np.random.default_rng(0)
+        (x,) = InputSpec("image", (3, 8, 8)).example_batch(4, rng)
+        assert x.data.shape == (4, 3, 8, 8)
+
+    def test_token_spec_time_major(self):
+        from repro.serve import InputSpec
+
+        rng = np.random.default_rng(0)
+        (tokens,) = InputSpec("tokens", (16,), vocab_size=50).example_batch(3, rng)
+        assert tokens.shape == (16, 3)  # (T, B) — the LSTM convention
+        assert tokens.min() >= 1 and tokens.max() < 50
+
+    def test_seq2seq_spec_two_streams(self):
+        from repro.serve import InputSpec
+
+        rng = np.random.default_rng(0)
+        src, tgt = InputSpec("seq2seq", (12,), vocab_size=50).example_batch(2, rng)
+        assert src.shape == (2, 12) and tgt.shape == (2, 12)
+
+    def test_validation(self):
+        from repro.serve import InputSpec
+
+        with pytest.raises(ValueError):
+            InputSpec("video", (3, 8, 8))
+        with pytest.raises(ValueError):
+            InputSpec("tokens", (16,))  # vocab required
+        with pytest.raises(ValueError):
+            InputSpec("tokens", (16, 2), vocab_size=50)
+
+    def test_round_trip(self):
+        from repro.serve import InputSpec
+
+        spec = InputSpec("tokens", (16,), vocab_size=50)
+        assert InputSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestSequenceServing:
+    """Satellite: the LSTM/Transformer zoo is servable end to end."""
+
+    def test_registry_covers_sequence_models(self):
+        from repro.serve import IMAGE_MODELS, SEQUENCE_MODELS, default_registry
+
+        names = default_registry().names()
+        for name in IMAGE_MODELS + SEQUENCE_MODELS:
+            assert name in names
+
+    @pytest.mark.parametrize("name", ["lstm", "transformer"])
+    def test_sequence_model_materializes_both_variants(self, name):
+        from repro.serve import default_registry
+
+        registry = default_registry()
+        full = registry.materialize(name, "full", width=0.25)
+        fact = registry.materialize(name, "factorized", width=0.25, rank_ratio=0.25)
+        assert fact.params < full.params
+        assert full.input_spec.kind in ("tokens", "seq2seq")
+        assert full.describe()["input"]["kind"] == full.input_spec.kind
+
+    def test_lstm_latency_profile_measures(self):
+        """A sequence model flows through the same profiling path the
+        image zoo uses — the non-image input shapes satellite."""
+        from repro.serve import default_registry, measure_latency_profile
+
+        served = default_registry().materialize("lstm", "factorized", width=0.25)
+        profile = measure_latency_profile(
+            served.model,
+            served.input_spec,
+            batch_sizes=(1, 4),
+            repeats=1,
+            meta={"model": "lstm"},
+        )
+        assert profile.capacity_rps() > 0
+        assert all(t > 0 for t in profile.latency_s)
+
+    def test_lstm_serves_under_load(self):
+        from repro.serve import default_registry, measure_latency_profile
+
+        served = default_registry().materialize("lstm", "full", width=0.25)
+        profile = measure_latency_profile(
+            served.model, served.input_spec, batch_sizes=(1, 4), repeats=1
+        )
+        arrivals = generate_arrivals(ArrivalSpec(rate_rps=50, duration_s=1, seed=0))
+        report = ServeSimulator(profile, ServeConfig(slo_s=10.0)).run(arrivals, 1.0)
+        assert report.n_requests == len(arrivals)
+        assert report.n_completed + report.n_shed == report.n_requests
