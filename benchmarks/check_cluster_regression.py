@@ -27,35 +27,11 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-from pathlib import Path
+from gatelib import DeepExact, Gate, run_gate
 
 
-def _deep_diff(cur, base, path: str, failures: list[str]) -> None:
-    """Record every leaf where ``cur`` differs from ``base``."""
-    if isinstance(base, dict) and isinstance(cur, dict):
-        for key in sorted(set(base) | set(cur)):
-            if key not in cur:
-                failures.append(f"{path}.{key}: missing from current run")
-            elif key not in base:
-                failures.append(f"{path}.{key}: not in baseline (new key)")
-            else:
-                _deep_diff(cur[key], base[key], f"{path}.{key}", failures)
-        return
-    if isinstance(base, list) and isinstance(cur, list):
-        if len(base) != len(cur):
-            failures.append(f"{path}: length {len(cur)} != baseline {len(base)}")
-            return
-        for i, (c, b) in enumerate(zip(cur, base)):
-            _deep_diff(c, b, f"{path}[{i}]", failures)
-        return
-    if cur != base:
-        failures.append(f"{path}: {cur!r} != baseline {base!r}")
-
-
-def _check_headline(current: dict, failures: list[str]) -> None:
+def headline(current: dict) -> list[str]:
+    failures: list[str] = []
     scenarios = current.get("scenarios", {})
 
     fleet = scenarios.get("fleet_cost")
@@ -106,49 +82,22 @@ def _check_headline(current: dict, failures: list[str]) -> None:
                 f"canary_rollout: slow-canary run "
                 f"{canary['slow_canary']['status']!r}, expected rolled_back"
             )
-
-
-def check(current: dict, baseline: dict) -> list[str]:
-    failures: list[str] = []
-    cur_scenarios = current.get("scenarios", {})
-    for name, base in sorted(baseline["scenarios"].items()):
-        cur = cur_scenarios.get(name)
-        if cur is None:
-            failures.append(f"{name}: scenario missing from current run")
-            continue
-        _deep_diff(cur, base, name, failures)
-    _check_headline(current, failures)
     return failures
 
 
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--current", default="BENCH_cluster.json")
-    ap.add_argument(
-        "--baseline", default="benchmarks/baselines/cluster_baseline.json"
-    )
-    args = ap.parse_args(argv)
-
-    for path in (args.current, args.baseline):
-        if not Path(path).exists():
-            print(f"cluster regression gate: missing {path}", file=sys.stderr)
-            return 2
-    current = json.loads(Path(args.current).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-
-    failures = check(current, baseline)
-    n = len(baseline["scenarios"])
-    if failures:
-        print(f"cluster regression gate: {len(failures)} failure(s) across {n} scenarios")
-        for f in failures:
-            print(f"  FAIL {f}")
-        return 1
-    print(
+GATE = Gate(
+    name="cluster",
+    default_current="BENCH_cluster.json",
+    default_baseline="benchmarks/baselines/cluster_baseline.json",
+    rules=(DeepExact(),),
+    headline=headline,
+    ok_line=lambda n, t: (
         f"cluster regression gate: {n} baseline scenarios OK "
         "(pinned-profile deterministic, exact diff)"
-    )
-    return 0
+    ),
+    description=__doc__.splitlines()[0],
+)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_gate(GATE))

@@ -23,66 +23,24 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-from pathlib import Path
+from gatelib import BandFields, ExactFields, Gate, run_gate
 
-# Regressions are "more seconds spent than baseline" for these keys.
-TIME_KEYS = ("comm_s", "other_s", "backoff_s", "recovery_s")
-COUNT_KEYS = ("events", "retries")
-
-
-def check(current: dict, baseline: dict, threshold: float) -> list[str]:
-    failures = []
-    for name, base in sorted(baseline["scenarios"].items()):
-        cur = current.get("scenarios", {}).get(name)
-        if cur is None:
-            failures.append(f"{name}: scenario missing from current run")
-            continue
-        for key in COUNT_KEYS:
-            if cur.get(key) != base.get(key):
-                failures.append(
-                    f"{name}.{key}: {cur.get(key)} != baseline {base.get(key)} "
-                    "(seeded event stream changed — determinism break)"
-                )
-        for key in TIME_KEYS:
-            b, c = base.get(key, 0.0), cur.get(key, 0.0)
-            limit = b * (1.0 + threshold)
-            if c > limit and c - b > 1e-9:
-                failures.append(
-                    f"{name}.{key}: {c:.6f}s > {limit:.6f}s "
-                    f"(baseline {b:.6f}s +{threshold:.0%})"
-                )
-    return failures
-
-
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--current", default="BENCH_faults.json")
-    ap.add_argument(
-        "--baseline", default="benchmarks/baselines/faults_baseline.json"
-    )
-    ap.add_argument("--threshold", type=float, default=0.20)
-    args = ap.parse_args(argv)
-
-    for path in (args.current, args.baseline):
-        if not Path(path).exists():
-            print(f"fault regression gate: missing {path}", file=sys.stderr)
-            return 2
-    current = json.loads(Path(args.current).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-
-    failures = check(current, baseline, args.threshold)
-    n = len(baseline["scenarios"])
-    if failures:
-        print(f"fault regression gate: {len(failures)} failure(s) across {n} scenarios")
-        for f in failures:
-            print(f"  FAIL {f}")
-        return 1
-    print(f"fault regression gate: {n} scenarios within {args.threshold:.0%} of baseline")
-    return 0
+GATE = Gate(
+    name="fault",
+    default_current="BENCH_faults.json",
+    default_baseline="benchmarks/baselines/faults_baseline.json",
+    default_threshold=0.20,
+    rules=(
+        ExactFields(
+            ("events", "retries"),
+            note="seeded event stream changed — determinism break",
+        ),
+        # Regressions are "more seconds spent than baseline" for these keys.
+        BandFields(("comm_s", "other_s", "backoff_s", "recovery_s"), mode="upper"),
+    ),
+    description=__doc__.splitlines()[0],
+)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_gate(GATE))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""CI regression gate for the backend kernel benchmark.
+
+Compares a fresh ``BENCH_kernels.json`` against the committed baseline
+(``benchmarks/baselines/kernels_baseline.json``).  Wall-clock speedups
+are machine-dependent, so times are never diffed against the baseline;
+what is gated:
+
+* **structure** — the op set, each op's parity tag, benchmark shape and
+  enforced floor must match the baseline exactly: a silently dropped op
+  or a loosened floor is a gate change, not noise;
+* **parity** — every op's ``parity_ok`` must be true in the current run
+  (bit-exact or within the published tolerance, per its tag);
+* **speedup floors** — ops with a ``min_speedup`` (the headline: ≥1.5×
+  on the batched im2col-matmul conv forward at CPU-scaled widths) must
+  meet it in the current run.
+
+Usage::
+
+    python benchmarks/check_kernels_regression.py \
+        [--current BENCH_kernels.json] \
+        [--baseline benchmarks/baselines/kernels_baseline.json]
+"""
+
+from __future__ import annotations
+
+from gatelib import ExactFields, Gate, run_gate
+
+
+def invariants(op: str, cur: dict) -> list[str]:
+    failures: list[str] = []
+    if not cur.get("parity_ok"):
+        failures.append(
+            f"{op}: parity violated under tag {cur.get('tag')!r} "
+            f"(max_abs_err {cur.get('max_abs_err')})"
+        )
+    floor = cur.get("min_speedup")
+    speedup = cur.get("speedup")
+    if floor is not None and (speedup is None or speedup < floor):
+        failures.append(
+            f"{op}: speedup {speedup} below enforced floor {floor}x "
+            "(fast-backend win regressed)"
+        )
+    return failures
+
+
+GATE = Gate(
+    name="kernel",
+    default_current="BENCH_kernels.json",
+    default_baseline="benchmarks/baselines/kernels_baseline.json",
+    section="ops",
+    item_word="ops",
+    rules=(
+        ExactFields(
+            ("tag", "shape", "min_speedup"),
+            note="kernel benchmark structure changed",
+        ),
+    ),
+    invariants=invariants,
+    ok_line=lambda n, t: (
+        f"kernel regression gate: {n} ops OK "
+        "(structure exact, parity + speedup floors hold)"
+    ),
+    description=__doc__.splitlines()[0],
+)
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_gate(GATE))

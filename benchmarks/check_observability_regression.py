@@ -30,10 +30,7 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-from pathlib import Path
+from gatelib import Gate, run_gate
 
 # Column headers whose values are exact model-structure arithmetic.
 EXACT_HEADERS = {
@@ -55,7 +52,7 @@ def _rows_by_label(record: dict) -> dict:
 
 
 def check_table(title: str, cur: dict, base: dict, threshold: float) -> list[str]:
-    failures = []
+    failures: list[str] = []
     if cur.get("headers") != base.get("headers"):
         failures.append(
             f"{title}: headers changed {base.get('headers')} -> {cur.get('headers')}"
@@ -86,8 +83,9 @@ def check_table(title: str, cur: dict, base: dict, threshold: float) -> list[str
     return failures
 
 
-def check(current: dict, baseline: dict, threshold: float) -> list[str]:
-    failures = []
+def check_records(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Record-keyed walk (the artifact is a list, not a scenario dict)."""
+    failures: list[str] = []
     cur_records = {r["title"]: r for r in current.get("records", [])}
     for base_rec in baseline.get("records", []):
         title = base_rec["title"]
@@ -116,38 +114,21 @@ def check(current: dict, baseline: dict, threshold: float) -> list[str]:
     return failures
 
 
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--current", default="BENCH_observability.json")
-    ap.add_argument(
-        "--baseline", default="benchmarks/baselines/observability_baseline.json"
-    )
-    ap.add_argument("--threshold", type=float, default=0.20)
-    args = ap.parse_args(argv)
-
-    for path in (args.current, args.baseline):
-        if not Path(path).exists():
-            print(f"observability regression gate: missing {path}", file=sys.stderr)
-            return 2
-    current = json.loads(Path(args.current).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-
-    failures = check(current, baseline, args.threshold)
-    n = len(baseline.get("records", []))
-    if failures:
-        print(
-            f"observability regression gate: {len(failures)} failure(s) "
-            f"across {n} records"
-        )
-        for f in failures:
-            print(f"  FAIL {f}")
-        return 1
-    print(
+GATE = Gate(
+    name="observability",
+    default_current="BENCH_observability.json",
+    default_baseline="benchmarks/baselines/observability_baseline.json",
+    default_threshold=0.20,
+    section="records",
+    item_word="records",
+    custom=check_records,
+    ok_line=lambda n, t: (
         f"observability regression gate: {n} records consistent with baseline "
-        f"(exact columns matched, modeled times within {args.threshold:.0%})"
-    )
-    return 0
+        f"(exact columns matched, modeled times within {t:.0%})"
+    ),
+    description=__doc__.splitlines()[0],
+)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_gate(GATE))

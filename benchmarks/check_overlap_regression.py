@@ -25,77 +25,40 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-from pathlib import Path
-
-EXACT_KEYS = ("n_buckets", "n_tensors", "n_params", "payload_bytes", "sizes", "offsets")
-MODELED_TIME_KEYS = ("comm_mono_s", "comm_bucketed_s")
+from gatelib import BandFields, ExactFields, Gate, run_gate
 
 
-def check(current: dict, baseline: dict, threshold: float) -> list[str]:
-    failures = []
-    for name, base in sorted(baseline["scenarios"].items()):
-        cur = current.get("scenarios", {}).get(name)
-        if cur is None:
-            failures.append(f"{name}: scenario missing from current run")
-            continue
-        for key in EXACT_KEYS:
-            if key in base and cur.get(key) != base[key]:
-                failures.append(
-                    f"{name}.{key}: {cur.get(key)} != baseline {base[key]} "
-                    "(bucket/arena structure changed)"
-                )
-        for key in MODELED_TIME_KEYS:
-            if key not in base:
-                continue
-            b, c = base[key], cur.get(key, 0.0)
-            lo, hi = b * (1.0 - threshold), b * (1.0 + threshold)
-            if not (lo <= c <= hi):
-                failures.append(
-                    f"{name}.{key}: {c:.6f}s outside [{lo:.6f}, {hi:.6f}] "
-                    f"(baseline {b:.6f}s ±{threshold:.0%}; modeled time drifted)"
-                )
-        if "overlap_fraction" in cur:
-            f = cur["overlap_fraction"]
-            if not (0.0 < f <= 1.0):
-                failures.append(f"{name}.overlap_fraction: {f} outside (0, 1]")
-        if "comm_exposed_s" in cur and "comm_bucketed_s" in cur:
-            if cur["comm_exposed_s"] > cur["comm_bucketed_s"] + 1e-9:
-                failures.append(
-                    f"{name}: exposed {cur['comm_exposed_s']:.6f}s exceeds "
-                    f"total bucketed comm {cur['comm_bucketed_s']:.6f}s"
-                )
+def invariants(name: str, cur: dict) -> list[str]:
+    failures: list[str] = []
+    if "overlap_fraction" in cur:
+        f = cur["overlap_fraction"]
+        if not (0.0 < f <= 1.0):
+            failures.append(f"{name}.overlap_fraction: {f} outside (0, 1]")
+    if "comm_exposed_s" in cur and "comm_bucketed_s" in cur:
+        if cur["comm_exposed_s"] > cur["comm_bucketed_s"] + 1e-9:
+            failures.append(
+                f"{name}: exposed {cur['comm_exposed_s']:.6f}s exceeds "
+                f"total bucketed comm {cur['comm_bucketed_s']:.6f}s"
+            )
     return failures
 
 
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--current", default="BENCH_overlap.json")
-    ap.add_argument(
-        "--baseline", default="benchmarks/baselines/overlap_baseline.json"
-    )
-    ap.add_argument("--threshold", type=float, default=0.20)
-    args = ap.parse_args(argv)
-
-    for path in (args.current, args.baseline):
-        if not Path(path).exists():
-            print(f"overlap regression gate: missing {path}", file=sys.stderr)
-            return 2
-    current = json.loads(Path(args.current).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-
-    failures = check(current, baseline, args.threshold)
-    n = len(baseline["scenarios"])
-    if failures:
-        print(f"overlap regression gate: {len(failures)} failure(s) across {n} scenarios")
-        for f in failures:
-            print(f"  FAIL {f}")
-        return 1
-    print(f"overlap regression gate: {n} scenarios within {args.threshold:.0%} of baseline")
-    return 0
+GATE = Gate(
+    name="overlap",
+    default_current="BENCH_overlap.json",
+    default_baseline="benchmarks/baselines/overlap_baseline.json",
+    default_threshold=0.20,
+    rules=(
+        ExactFields(
+            ("n_buckets", "n_tensors", "n_params", "payload_bytes", "sizes", "offsets"),
+            note="bucket/arena structure changed",
+        ),
+        BandFields(("comm_mono_s", "comm_bucketed_s"), note="modeled time drifted"),
+    ),
+    invariants=invariants,
+    description=__doc__.splitlines()[0],
+)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_gate(GATE))

@@ -30,34 +30,9 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-from pathlib import Path
+from gatelib import DeepExact, Gate, run_gate
 
 MEASURED_PREFIX = "measured_"
-
-
-def _deep_diff(cur, base, path: str, failures: list[str]) -> None:
-    """Record every leaf where ``cur`` differs from ``base``."""
-    if isinstance(base, dict) and isinstance(cur, dict):
-        for key in sorted(set(base) | set(cur)):
-            if key not in cur:
-                failures.append(f"{path}.{key}: missing from current run")
-            elif key not in base:
-                failures.append(f"{path}.{key}: not in baseline (new key)")
-            else:
-                _deep_diff(cur[key], base[key], f"{path}.{key}", failures)
-        return
-    if isinstance(base, list) and isinstance(cur, list):
-        if len(base) != len(cur):
-            failures.append(f"{path}: length {len(cur)} != baseline {len(base)}")
-            return
-        for i, (c, b) in enumerate(zip(cur, base)):
-            _deep_diff(c, b, f"{path}[{i}]", failures)
-        return
-    if cur != base:
-        failures.append(f"{path}: {cur!r} != baseline {base!r}")
 
 
 def _check_cell_invariants(name: str, cell: dict, failures: list[str]) -> None:
@@ -78,7 +53,7 @@ def _check_cell_invariants(name: str, cell: dict, failures: list[str]) -> None:
             )
 
 
-def _check_invariants(name: str, scenario: dict, failures: list[str]) -> None:
+def _scenario_invariants(name: str, scenario: dict, failures: list[str]) -> None:
     if "capacity_rps" in scenario and scenario["capacity_rps"] <= 0:
         failures.append(f"{name}: capacity_rps {scenario['capacity_rps']} not positive")
     rates = scenario.get("rates")
@@ -88,24 +63,31 @@ def _check_invariants(name: str, scenario: dict, failures: list[str]) -> None:
     _check_cell_invariants(name, scenario, failures)
 
 
-def _check_headline(current: dict, failures: list[str]) -> None:
+def invariants(name: str, scenario: dict) -> list[str]:
+    failures: list[str] = []
+    _scenario_invariants(name, scenario, failures)
+    for sub in scenario.get("variants", {}).values():
+        _scenario_invariants(name, sub, failures)
+    return failures
+
+
+def headline(current: dict) -> list[str]:
+    failures: list[str] = []
     pinned = current.get("scenarios", {}).get("pinned_crossover")
     if pinned is None:
         failures.append("pinned_crossover: scenario missing from current run")
-        return
+        return failures
     variants = pinned.get("variants", {})
     full, fact = variants.get("full"), variants.get("factorized")
     if not full or not fact:
         failures.append("pinned_crossover: needs both full and factorized variants")
-        return
+        return failures
     if not fact["capacity_rps"] > full["capacity_rps"]:
         failures.append(
             "pinned_crossover: factorized capacity "
             f"{fact['capacity_rps']} not above full {full['capacity_rps']}"
         )
-    saturating = [
-        r for r in pinned.get("rates", []) if r > full["capacity_rps"]
-    ]
+    saturating = [r for r in pinned.get("rates", []) if r > full["capacity_rps"]]
     if not saturating:
         failures.append("pinned_crossover: sweep never exceeds full-rank capacity")
     for rate in saturating:
@@ -115,55 +97,24 @@ def _check_headline(current: dict, failures: list[str]) -> None:
                 f"pinned_crossover @ {rate} rps: factorized throughput "
                 f"{h['throughput_rps']} not above full {f['throughput_rps']}"
             )
-
-
-def check(current: dict, baseline: dict) -> list[str]:
-    failures: list[str] = []
-    cur_scenarios = current.get("scenarios", {})
-    for name, base in sorted(baseline["scenarios"].items()):
-        if name.startswith(MEASURED_PREFIX):
-            continue  # machine-dependent: invariants only, below
-        cur = cur_scenarios.get(name)
-        if cur is None:
-            failures.append(f"{name}: scenario missing from current run")
-            continue
-        _deep_diff(cur, base, name, failures)
-    for name, scenario in sorted(cur_scenarios.items()):
-        _check_invariants(name, scenario, failures)
-        for sub in scenario.get("variants", {}).values():
-            _check_invariants(name, sub, failures)
-    _check_headline(current, failures)
     return failures
 
 
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--current", default="BENCH_serving.json")
-    ap.add_argument(
-        "--baseline", default="benchmarks/baselines/serving_baseline.json"
-    )
-    args = ap.parse_args(argv)
-
-    for path in (args.current, args.baseline):
-        if not Path(path).exists():
-            print(f"serving regression gate: missing {path}", file=sys.stderr)
-            return 2
-    current = json.loads(Path(args.current).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-
-    failures = check(current, baseline)
-    n = len(baseline["scenarios"])
-    if failures:
-        print(f"serving regression gate: {len(failures)} failure(s) across {n} scenarios")
-        for f in failures:
-            print(f"  FAIL {f}")
-        return 1
-    print(
+GATE = Gate(
+    name="serving",
+    default_current="BENCH_serving.json",
+    default_baseline="benchmarks/baselines/serving_baseline.json",
+    rules=(DeepExact(),),
+    skip=lambda name: name.startswith(MEASURED_PREFIX),
+    invariants=invariants,
+    headline=headline,
+    ok_line=lambda n, t: (
         f"serving regression gate: {n} baseline scenarios OK "
         "(deterministic exact, measured invariant-only)"
-    )
-    return 0
+    ),
+    description=__doc__.splitlines()[0],
+)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_gate(GATE))

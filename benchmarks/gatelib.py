@@ -1,0 +1,226 @@
+"""Shared harness for the ``benchmarks/check_*_regression.py`` CI gates.
+
+Every gate does the same four things: load a fresh ``BENCH_*.json`` and a
+committed baseline, walk the baseline's scenarios applying field rules,
+enforce current-run invariants / headline claims, and print a uniform
+failure report (exit 2 on missing files, 1 on failures, 0 on success).
+This module owns all of that; each ``check_*_regression.py`` script is a
+thin :class:`Gate` config plus its domain-specific invariant/headline
+callables.
+
+Field rules
+-----------
+:class:`ExactFields`
+    Named scalar/list fields that must match the baseline exactly
+    (structure facts, seeded counts — drift is a behavior change).
+:class:`BandFields`
+    Deterministic modeled quantities gated to a ±threshold band
+    (``mode="band"``) or an upper bound only (``mode="upper"``, for
+    "more seconds than baseline is a regression, fewer is fine").
+:class:`DeepExact`
+    Exact recursive diff of the whole scenario (pure-function artifacts
+    where *any* drift is a behavior change), minus keys the gate skips.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "BandFields",
+    "DeepExact",
+    "ExactFields",
+    "Gate",
+    "deep_diff",
+    "run_gate",
+]
+
+
+def deep_diff(cur, base, path: str, failures: list[str]) -> None:
+    """Record every leaf where ``cur`` differs from ``base``."""
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in sorted(set(base) | set(cur)):
+            if key not in cur:
+                failures.append(f"{path}.{key}: missing from current run")
+            elif key not in base:
+                failures.append(f"{path}.{key}: not in baseline (new key)")
+            else:
+                deep_diff(cur[key], base[key], f"{path}.{key}", failures)
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            failures.append(f"{path}: length {len(cur)} != baseline {len(base)}")
+            return
+        for i, (c, b) in enumerate(zip(cur, base)):
+            deep_diff(c, b, f"{path}[{i}]", failures)
+        return
+    if cur != base:
+        failures.append(f"{path}: {cur!r} != baseline {base!r}")
+
+
+@dataclass(frozen=True)
+class ExactFields:
+    """Fields that must equal the baseline exactly."""
+
+    keys: tuple[str, ...]
+    note: str = ""
+
+    def check(
+        self, name: str, cur: dict, base: dict, threshold: float, failures: list[str]
+    ) -> None:
+        suffix = f" ({self.note})" if self.note else ""
+        for key in self.keys:
+            if key not in base and key not in cur:
+                continue
+            if cur.get(key) != base.get(key):
+                failures.append(
+                    f"{name}.{key}: {cur.get(key)} != baseline {base.get(key)}{suffix}"
+                )
+
+
+@dataclass(frozen=True)
+class BandFields:
+    """Deterministic modeled quantities gated against a threshold.
+
+    ``mode="band"`` fails outside ``[b·(1-t), b·(1+t)]`` (and skips keys
+    absent from the baseline); ``mode="upper"`` fails only above
+    ``b·(1+t)`` — regressions are "more than baseline", improvements
+    pass.  ``unit`` is appended to printed values ("s" for seconds).
+    """
+
+    keys: tuple[str, ...]
+    mode: str = "band"
+    note: str = ""
+    unit: str = "s"
+
+    def check(
+        self, name: str, cur: dict, base: dict, threshold: float, failures: list[str]
+    ) -> None:
+        u = self.unit
+        for key in self.keys:
+            if self.mode == "band":
+                if key not in base:
+                    continue
+                b, c = base[key], cur.get(key, 0.0)
+                lo, hi = b * (1.0 - threshold), b * (1.0 + threshold)
+                if not (lo <= c <= hi):
+                    suffix = f"; {self.note}" if self.note else ""
+                    failures.append(
+                        f"{name}.{key}: {c:.6f}{u} outside [{lo:.6f}, {hi:.6f}] "
+                        f"(baseline {b:.6f}{u} ±{threshold:.0%}{suffix})"
+                    )
+            else:
+                b, c = base.get(key, 0.0), cur.get(key, 0.0)
+                limit = b * (1.0 + threshold)
+                if c > limit and c - b > 1e-9:
+                    failures.append(
+                        f"{name}.{key}: {c:.6f}{u} > {limit:.6f}{u} "
+                        f"(baseline {b:.6f}{u} +{threshold:.0%})"
+                    )
+
+
+@dataclass(frozen=True)
+class DeepExact:
+    """Exact recursive diff of the whole scenario against the baseline."""
+
+    def check(
+        self, name: str, cur: dict, base: dict, threshold: float, failures: list[str]
+    ) -> None:
+        deep_diff(cur, base, name, failures)
+
+
+@dataclass
+class Gate:
+    """One regression gate: artifact paths, field rules, extra checks.
+
+    ``invariants(name, scenario)`` runs on every *current* scenario
+    (machine-dependent sanity bounds); ``headline(current)`` re-asserts
+    the artifact's headline claims; ``custom(current, baseline,
+    threshold)`` replaces the per-scenario rule walk entirely for
+    artifacts that aren't scenario-keyed (the observability records).
+    """
+
+    name: str
+    default_current: str
+    default_baseline: str
+    rules: tuple = ()
+    default_threshold: float | None = None
+    section: str = "scenarios"
+    item_word: str = "scenarios"
+    skip: Callable[[str], bool] | None = None
+    invariants: Callable[[str, dict], list[str]] | None = None
+    headline: Callable[[dict], list[str]] | None = None
+    custom: Callable[[dict, dict, float], list[str]] | None = None
+    ok_line: Callable[[int, float], str] | None = field(default=None)
+    description: str = ""
+
+    # ------------------------------------------------------------------
+
+    def check(self, current: dict, baseline: dict, threshold: float) -> list[str]:
+        failures: list[str] = []
+        if self.custom is not None:
+            failures.extend(self.custom(current, baseline, threshold))
+        else:
+            cur_items = current.get(self.section, {})
+            for name, base in sorted(baseline[self.section].items()):
+                if self.skip is not None and self.skip(name):
+                    continue
+                cur = cur_items.get(name)
+                if cur is None:
+                    failures.append(f"{name}: scenario missing from current run")
+                    continue
+                for rule in self.rules:
+                    rule.check(name, cur, base, threshold, failures)
+            if self.invariants is not None:
+                for name, scenario in sorted(cur_items.items()):
+                    failures.extend(self.invariants(name, scenario))
+        if self.headline is not None:
+            failures.extend(self.headline(current))
+        return failures
+
+
+def run_gate(gate: Gate, argv: list[str] | None = None) -> int:
+    """Parse args, load artifacts, run the gate, print the report.
+
+    Exit codes: 0 OK, 1 failures, 2 missing artifact/baseline file.
+    """
+    ap = argparse.ArgumentParser(
+        description=gate.description or f"{gate.name} regression gate"
+    )
+    ap.add_argument("--current", default=gate.default_current)
+    ap.add_argument("--baseline", default=gate.default_baseline)
+    if gate.default_threshold is not None:
+        ap.add_argument("--threshold", type=float, default=gate.default_threshold)
+    args = ap.parse_args(argv)
+    threshold = getattr(args, "threshold", 0.0)
+
+    for path in (args.current, args.baseline):
+        if not Path(path).exists():
+            print(f"{gate.name} regression gate: missing {path}", file=sys.stderr)
+            return 2
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    failures = gate.check(current, baseline, threshold)
+    n = len(baseline.get(gate.section, {}))
+    if failures:
+        print(
+            f"{gate.name} regression gate: {len(failures)} failure(s) "
+            f"across {n} {gate.item_word}"
+        )
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    if gate.ok_line is not None:
+        print(gate.ok_line(n, threshold))
+    else:
+        print(
+            f"{gate.name} regression gate: {n} {gate.item_word} "
+            f"within {threshold:.0%} of baseline"
+        )
+    return 0

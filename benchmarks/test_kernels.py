@@ -1,0 +1,216 @@
+"""Per-op backend kernel benchmark: ``numpy`` reference vs ``fast``.
+
+Times every dispatched op under both backends at CPU-scaled widths,
+re-checks the parity contract from :data:`repro.tensor.backend.PARITY`,
+and writes ``BENCH_kernels.json`` (speedup table + parity summary).
+``check_kernels_regression.py`` gates the artifact against the committed
+baseline: structure exactly, parity booleans, and per-op speedup floors
+(the headline: ≥1.5× on the batched im2col-matmul conv forward).
+
+Wall-clock speedups are machine-dependent; the committed baseline's
+numbers document the reference machine and only the floors are enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from harness import print_table
+from repro.tensor import backend
+from repro.tensor.backend import PARITY, TOLERANCE_ATOL, TOLERANCE_RTOL
+
+KERNELS_FILE = "BENCH_kernels.json"
+REPEATS = 5
+
+# Per-op enforced speedup floor (None = parity-coverage op, no perf claim:
+# either sub-millisecond, memory-bound, or running the identical kernel).
+MIN_SPEEDUP = {
+    "conv2d_forward": 1.5,
+    "conv2d_backward": 1.0,
+    "im2col": 1.0,
+    "matmul": None,
+    "relu": None,
+    "bias_relu": None,
+    "sgd_update": None,
+}
+
+_RESULTS: dict[str, dict] = {}
+
+
+def best_ms(call, setup=None, repeats=REPEATS) -> float:
+    """Best-of-N wall time in milliseconds (min is the noise-robust stat)."""
+    best = float("inf")
+    for _ in range(repeats):
+        args = setup() if setup is not None else ()
+        t0 = time.perf_counter()
+        call(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def check_parity(op: str, ref, got) -> tuple[bool, float]:
+    """(parity_ok, max_abs_err) under the op's published tag."""
+    ref, got = np.asarray(ref), np.asarray(got)
+    err = float(np.max(np.abs(ref - got))) if ref.size else 0.0
+    if PARITY[op] == "bit-exact":
+        return bool(np.array_equal(ref, got)), err
+    ok = bool(
+        np.allclose(got, ref, rtol=TOLERANCE_RTOL, atol=TOLERANCE_ATOL)
+    )
+    return ok, err
+
+
+def record(op: str, shape: str, numpy_ms: float, fast_ms: float, parity_ok: bool,
+           max_abs_err: float) -> None:
+    _RESULTS[op] = {
+        "tag": PARITY[op],
+        "shape": shape,
+        "numpy_ms": round(numpy_ms, 4),
+        "fast_ms": round(fast_ms, 4),
+        "speedup": round(numpy_ms / fast_ms, 3) if fast_ms > 0 else None,
+        "parity_ok": parity_ok,
+        "max_abs_err": max_abs_err,
+        "min_speedup": MIN_SPEEDUP[op],
+    }
+
+
+def conv_inputs(rng, n=32, c=16, hw=32, co=32, k=3):
+    x = rng.standard_normal((n, c, hw, hw)).astype(np.float32)
+    w = (rng.standard_normal((co, c, k, k)) * 0.1).astype(np.float32)
+    b = rng.standard_normal((co,)).astype(np.float32)
+    return x, w, b
+
+
+def test_conv2d_forward_speedup(rng):
+    """Headline: batched im2col matmul at CPU-scaled conv widths."""
+    x, w, b = conv_inputs(rng)
+    ref_be, fast_be = backend.get("numpy"), backend.get("fast")
+    ref_out, _ = ref_be.conv2d_forward(x, w, b, 1, 1, 1, False)
+    got_out, _ = fast_be.conv2d_forward(x, w, b, 1, 1, 1, False)
+    ok, err = check_parity("conv2d_forward", ref_out, got_out)
+    n_ms = best_ms(lambda: ref_be.conv2d_forward(x, w, b, 1, 1, 1, False))
+    f_ms = best_ms(lambda: fast_be.conv2d_forward(x, w, b, 1, 1, 1, False))
+    record("conv2d_forward", "N32 C16 32x32 k3 s1 p1 -> C32", n_ms, f_ms, ok, err)
+    assert ok
+
+
+def test_conv2d_backward_speedup(rng):
+    x, w, b = conv_inputs(rng)
+    g = rng.standard_normal((32, 32, 32, 32)).astype(np.float32)
+    ref_be, fast_be = backend.get("numpy"), backend.get("fast")
+    _, ref_ctx = ref_be.conv2d_forward(x, w, b, 1, 1, 1, True)
+    _, fast_ctx = fast_be.conv2d_forward(x, w, b, 1, 1, 1, True)
+    ref_g = ref_be.conv2d_backward(g, ref_ctx, True, True, True)
+    got_g = fast_be.conv2d_backward(g, fast_ctx, True, True, True)
+    oks, errs = zip(*(check_parity("conv2d_backward", r, o) for r, o in zip(ref_g, got_g)))
+    n_ms = best_ms(lambda: ref_be.conv2d_backward(g, ref_ctx, True, True, True))
+    f_ms = best_ms(lambda: fast_be.conv2d_backward(g, fast_ctx, True, True, True))
+    record("conv2d_backward", "N32 C16 32x32 k3 s1 p1 -> C32", n_ms, f_ms,
+           all(oks), max(errs))
+    assert all(oks)
+
+
+def test_im2col_speedup(rng):
+    x = rng.standard_normal((32, 16, 32, 32)).astype(np.float32)
+    ref_be, fast_be = backend.get("numpy"), backend.get("fast")
+    ok, err = check_parity("im2col", ref_be.im2col(x, 3, 3, 1, 1, 1),
+                           fast_be.im2col(x, 3, 3, 1, 1, 1))
+    n_ms = best_ms(lambda: ref_be.im2col(x, 3, 3, 1, 1, 1))
+    f_ms = best_ms(lambda: fast_be.im2col(x, 3, 3, 1, 1, 1))
+    record("im2col", "N32 C16 32x32 k3 s1 p1", n_ms, f_ms, ok, err)
+    assert ok
+
+
+def test_matmul_parity_speed(rng):
+    a = rng.standard_normal((512, 256)).astype(np.float32)
+    b = rng.standard_normal((256, 512)).astype(np.float32)
+    ref_be, fast_be = backend.get("numpy"), backend.get("fast")
+    ok, err = check_parity("matmul", ref_be.matmul(a, b), fast_be.matmul(a, b))
+    n_ms = best_ms(lambda: ref_be.matmul(a, b))
+    f_ms = best_ms(lambda: fast_be.matmul(a, b))
+    record("matmul", "512x256 @ 256x512", n_ms, f_ms, ok, err)
+    assert ok
+
+
+def test_relu_parity_speed(rng):
+    x = rng.standard_normal((1 << 21,)).astype(np.float32)
+    ref_be, fast_be = backend.get("numpy"), backend.get("fast")
+    ok, err = check_parity("relu", ref_be.relu(x)[0], fast_be.relu(x)[0])
+    n_ms = best_ms(lambda: ref_be.relu(x))
+    f_ms = best_ms(lambda: fast_be.relu(x))
+    record("relu", "2M elements", n_ms, f_ms, ok, err)
+    assert ok
+
+
+def test_bias_relu_parity_speed(rng):
+    x = rng.standard_normal((8192, 256)).astype(np.float32)
+    b = rng.standard_normal((256,)).astype(np.float32)
+    ref_be, fast_be = backend.get("numpy"), backend.get("fast")
+    ok, err = check_parity("bias_relu", ref_be.bias_relu(x, b)[0],
+                           fast_be.bias_relu(x, b)[0])
+    n_ms = best_ms(lambda: ref_be.bias_relu(x, b))
+    f_ms = best_ms(lambda: fast_be.bias_relu(x, b))
+    record("bias_relu", "8192x256 + (256,)", n_ms, f_ms, ok, err)
+    assert ok
+
+
+def test_sgd_update_parity_speed(rng):
+    size = 2_000_000
+    flat0 = rng.standard_normal(size).astype(np.float32)
+    g0 = rng.standard_normal(size).astype(np.float32)
+    buf0 = rng.standard_normal(size).astype(np.float32)
+    mask = (rng.random(size) > 0.3).astype(np.float32) * 5e-4
+    tmp = np.empty(size, dtype=np.float32)
+    ref_be, fast_be = backend.get("numpy"), backend.get("fast")
+
+    states = {}
+    for name, be in (("numpy", ref_be), ("fast", fast_be)):
+        flat, g, buf = flat0.copy(), g0.copy(), buf0.copy()
+        buf = be.sgd_update(flat, g, tmp, mask, buf, 0.05, 0.9, True)
+        states[name] = (flat, buf)
+    ok_f, err_f = check_parity("sgd_update", states["numpy"][0], states["fast"][0])
+    ok_b, err_b = check_parity("sgd_update", states["numpy"][1], states["fast"][1])
+
+    def setup():
+        return flat0.copy(), g0.copy(), buf0.copy()
+
+    n_ms = best_ms(lambda f, g_, b_: ref_be.sgd_update(f, g_, tmp, mask, b_, 0.05, 0.9, True),
+                   setup=setup)
+    f_ms = best_ms(lambda f, g_, b_: fast_be.sgd_update(f, g_, tmp, mask, b_, 0.05, 0.9, True),
+                   setup=setup)
+    record("sgd_update", "2M-param arena, momentum+nesterov+decay", n_ms, f_ms,
+           ok_f and ok_b, max(err_f, err_b))
+    assert ok_f and ok_b
+
+
+def test_emit_kernels_artifact():
+    """Runs last (file order): all ops recorded, floors hold, artifact out."""
+    assert set(_RESULTS) == set(MIN_SPEEDUP), (
+        f"op set mismatch: {sorted(_RESULTS)} vs expected {sorted(MIN_SPEEDUP)}"
+    )
+    rows = []
+    for op in sorted(_RESULTS):
+        r = _RESULTS[op]
+        rows.append([
+            op, r["tag"], r["shape"], r["numpy_ms"], r["fast_ms"],
+            r["speedup"], "yes" if r["parity_ok"] else "NO",
+            r["min_speedup"] if r["min_speedup"] is not None else "-",
+        ])
+    print_table(
+        "Backend kernels: numpy vs fast (per-op)",
+        ["Op", "Parity tag", "Shape", "numpy (ms)", "fast (ms)", "Speedup",
+         "Parity", "Floor"],
+        rows,
+    )
+    artifact = {
+        "schema": 1,
+        "ops": _RESULTS,
+        "parity_all_ok": all(r["parity_ok"] for r in _RESULTS.values()),
+    }
+    with open(KERNELS_FILE, "w") as f:
+        json.dump(artifact, f, indent=2, sort_keys=True)
+    print(f"\nkernel benchmark written to {KERNELS_FILE}")
+    assert artifact["parity_all_ok"]

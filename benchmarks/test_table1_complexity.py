@@ -109,7 +109,8 @@ def test_table1_attention_ffn_formulas(benchmark):
 
     rows = [
         ["Vanilla Attention", attention_params(p, d), "4p²d²"],
-        ["Factorized Attention (per-head, r=d/4)", lowrank_attention_params(p, d, d // 4), "(3p+5)prd"],
+        ["Factorized Attention (per-head, r=d/4)",
+         lowrank_attention_params(p, d, d // 4), "(3p+5)prd"],
         ["Vanilla FFN", ffn_params(p, d), "8p²d²"],
         ["Factorized FFN (r=pd/4)", lowrank_ffn_params(p, d, r), "10pdr"],
     ]

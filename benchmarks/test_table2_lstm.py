@@ -70,7 +70,9 @@ def test_table2_lstm_lm(benchmark, rng):
         ["Test Ppl (paper: 88.16 / 88.72)",
          perplexity(res["vanilla"]["test_nll"]), perplexity(res["pufferfish"]["test_nll"])],
     ]
-    print_table("Table 2: LSTM LM, vanilla vs Pufferfish", ["Metric", "Vanilla", "Pufferfish"], rows)
+    print_table(
+        "Table 2: LSTM LM, vanilla vs Pufferfish", ["Metric", "Vanilla", "Pufferfish"], rows
+    )
 
     # Shape assertions.
     assert res["pufferfish_params"] < res["vanilla_params"]

@@ -110,8 +110,10 @@ def test_table7_pufferfish_vs_ebtrain(benchmark, rng):
 
     res = benchmark.pedantic(experiment, rounds=1, iterations=1)
     rows = [
-        ["vanilla ResNet-50 (paper: 25.6M / 75.99%)", res["vanilla"]["params"], res["vanilla"]["acc"]],
-        ["Pufferfish (paper: 15.2M / 75.62%)", res["pufferfish"]["params"], res["pufferfish"]["acc"]],
+        ["vanilla ResNet-50 (paper: 25.6M / 75.99%)",
+         res["vanilla"]["params"], res["vanilla"]["acc"]],
+        ["Pufferfish (paper: 15.2M / 75.62%)",
+         res["pufferfish"]["params"], res["pufferfish"]["acc"]],
         ["EB Train pr=30% (paper: 16.5M / 73.86%)", res["eb30"]["params"], res["eb30"]["acc"]],
         ["EB Train pr=50% (paper: 15.1M / 73.35%)", res["eb50"]["params"], res["eb50"]["acc"]],
         ["EB Train pr=70% (paper: 7.9M / 70.16%)", res["eb70"]["params"], res["eb70"]["acc"]],

@@ -51,9 +51,12 @@ def test_table9_lstm_warmup_ablation(benchmark, rng):
         return float(np.mean(vals)), float(np.std(vals))
 
     rows = [
-        ["Val Ppl (paper: 97.59 / 93.62)", agg("scratch", "val_nll")[0], agg("warmup", "val_nll")[0]],
-        ["Test Ppl (paper: 92.04 / 88.72)", agg("scratch", "test_nll")[0], agg("warmup", "test_nll")[0]],
-        ["Train Ppl (paper: 68.04 / 62.2)", agg("scratch", "train_nll")[0], agg("warmup", "train_nll")[0]],
+        ["Val Ppl (paper: 97.59 / 93.62)",
+         agg("scratch", "val_nll")[0], agg("warmup", "val_nll")[0]],
+        ["Test Ppl (paper: 92.04 / 88.72)",
+         agg("scratch", "test_nll")[0], agg("warmup", "test_nll")[0]],
+        ["Train Ppl (paper: 68.04 / 62.2)",
+         agg("scratch", "train_nll")[0], agg("warmup", "train_nll")[0]],
     ]
     print_table("Table 9: LSTM warm-up ablation (3 seeds)",
                 ["Metric", "No warm-up", "With warm-up"], rows)

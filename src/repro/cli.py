@@ -36,6 +36,8 @@ import sys
 
 import numpy as np
 
+from .tensor import backend as tensor_backend
+
 __all__ = ["main", "build_parser"]
 
 MODELS = ("mlp", "vgg11", "vgg19", "resnet18", "resnet50", "wideresnet50")
@@ -695,6 +697,11 @@ def cmd_profile(args) -> int:
 # ---------------------------------------------------------------------------
 
 
+def add_backend_arg(p) -> None:
+    p.add_argument("--backend", choices=tensor_backend.available(), default=None,
+                   help="tensor op backend (default: $REPRO_BACKEND or numpy)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -706,6 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--classes", type=int, default=4)
         p.add_argument("--rank-ratio", type=float, default=0.25)
         p.add_argument("--seed", type=int, default=0)
+        add_backend_arg(p)
 
     p_train = sub.add_parser("train", help="train on the synthetic CIFAR task")
     common(p_train)
@@ -762,6 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--modules", action="store_true",
                         help="also record a span per Module.forward call")
     p_prof.add_argument("--seed", type=int, default=0)
+    add_backend_arg(p_prof)
     p_prof.add_argument("--classes", type=int, default=4)
     p_prof.add_argument("--epochs", type=int, default=6)
     p_prof.add_argument("--warmup-epochs", type=int, default=2)
@@ -909,6 +918,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None):
+        tensor_backend.set_backend(args.backend)
     return args.func(args)
 
 

@@ -123,7 +123,9 @@ def budget_rank_allocation(
     return ranks
 
 
-def allocation_report(model: Module, overrides: dict[str, int]) -> list[tuple[str, int, int, float]]:
+def allocation_report(
+    model: Module, overrides: dict[str, int]
+) -> list[tuple[str, int, int, float]]:
     """(path, full_rank, allocated_rank, retained_energy) per layer."""
     rows = []
     for path, layer in factorizable_leaves(model):

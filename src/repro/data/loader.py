@@ -45,7 +45,9 @@ class DataLoader:
 
     def __len__(self) -> int:
         n = len(self.x)
-        return n // self.batch_size if self.drop_last else (n + self.batch_size - 1) // self.batch_size
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(self.x)
@@ -59,7 +61,9 @@ class DataLoader:
             yield xb, self.y[idx]
 
 
-def shard_dataset(x: np.ndarray, y: np.ndarray, num_shards: int) -> list[tuple[np.ndarray, np.ndarray]]:
+def shard_dataset(
+    x: np.ndarray, y: np.ndarray, num_shards: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
     """Contiguous equal shards for data-parallel workers (extras dropped)."""
     per = len(x) // num_shards
     return [(x[i * per : (i + 1) * per], y[i * per : (i + 1) * per]) for i in range(num_shards)]

@@ -105,7 +105,9 @@ def make_cifar_like(
     rng: np.random.Generator | None = None,
 ) -> SyntheticImageDataset:
     """CIFAR-10 stand-in: 32×32×3, 10 classes, CIFAR normalization."""
-    return _make_images(n, num_classes, size, 3, noise, cutoff=4, mean=CIFAR_MEAN, std=CIFAR_STD, rng=rng)
+    return _make_images(
+        n, num_classes, size, 3, noise, cutoff=4, mean=CIFAR_MEAN, std=CIFAR_STD, rng=rng
+    )
 
 
 def make_imagenet_like(

@@ -510,7 +510,9 @@ class DDPTimelineModel:
         ``T_epoch = n_iter · (T_fwd_bwd + exposed_comm + T_step)``.
     """
 
-    def __init__(self, cluster: ClusterSpec, bucket_mb: float = 25.0, backward_fraction: float = 2 / 3):
+    def __init__(
+        self, cluster: ClusterSpec, bucket_mb: float = 25.0, backward_fraction: float = 2 / 3
+    ):
         self.cluster = cluster
         self.bucket_bytes = bucket_mb * 1e6
         # Fraction of fwd+bwd time that is backward (≈ 2/3 for conv nets).

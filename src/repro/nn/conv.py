@@ -12,7 +12,11 @@ __all__ = ["Conv2d"]
 
 
 class Conv2d(Module):
-    """2-D convolution with OIHW weights ``(c_out, c_in, k, k)``."""
+    """2-D convolution with OIHW weights ``(c_out, c_in, k, k)``.
+
+    ``padding`` may be a single int or an ``(pad_h, pad_w)`` pair for
+    asymmetric (per-axis) zero padding.
+    """
 
     def __init__(
         self,
@@ -20,7 +24,7 @@ class Conv2d(Module):
         out_channels: int,
         kernel_size: int,
         stride: int = 1,
-        padding: int = 0,
+        padding: int | tuple[int, int] = 0,
         bias: bool = True,
     ):
         super().__init__()

@@ -24,7 +24,9 @@ def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
     return fan_in, fan_out
 
 
-def kaiming_uniform(shape, a: float = math.sqrt(5), rng: np.random.Generator | None = None) -> np.ndarray:
+def kaiming_uniform(
+    shape, a: float = math.sqrt(5), rng: np.random.Generator | None = None
+) -> np.ndarray:
     """He-uniform init matching PyTorch's default for Linear/Conv layers."""
     rng = rng or get_rng()
     fan_in, _ = _fan(tuple(shape))

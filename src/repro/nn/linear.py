@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 
-from ..tensor import Tensor
+from ..tensor import Tensor, functional
 from . import init
 from .module import Module, Parameter
 
@@ -20,10 +20,19 @@ class Linear(Module):
     paper's appendix tables.
     """
 
-    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        activation: str | None = None,
+    ):
         super().__init__()
+        if activation not in (None, "relu"):
+            raise ValueError(f"unsupported activation: {activation!r}")
         self.in_features = in_features
         self.out_features = out_features
+        self.activation = activation
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features)))
         if bias:
             bound = 1.0 / math.sqrt(in_features)
@@ -33,12 +42,19 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight.T
+        if self.activation == "relu" and self.bias is not None:
+            # One fused graph node; the fast backend runs it in a single
+            # in-place pass.
+            return functional.bias_relu(out, self.bias)
         if self.bias is not None:
             out = out + self.bias
+        if self.activation == "relu":
+            out = out.relu()
         return out
 
     def __repr__(self) -> str:
+        act = f", activation={self.activation}" if self.activation else ""
         return (
             f"Linear(in={self.in_features}, out={self.out_features}, "
-            f"bias={self.bias is not None})"
+            f"bias={self.bias is not None}{act})"
         )

@@ -42,7 +42,8 @@ class _BatchNormBase(Module):
             n = x.data.size / self.num_features
             unbias = var.reshape(-1) * n / max(n - 1, 1)
             self._set_buffer(
-                "running_mean", ((1 - m) * self.running_mean + m * mu.reshape(-1)).astype(np.float32)
+                "running_mean",
+                ((1 - m) * self.running_mean + m * mu.reshape(-1)).astype(np.float32),
             )
             self._set_buffer(
                 "running_var", ((1 - m) * self.running_var + m * unbias).astype(np.float32)

@@ -88,7 +88,9 @@ __all__ = [
 ]
 
 
-def enable(tracing: bool = True, metric_collection: bool = True, module_spans: bool = False) -> None:
+def enable(
+    tracing: bool = True, metric_collection: bool = True, module_spans: bool = False
+) -> None:
     """Turn on the requested observability features process-wide."""
     if tracing:
         enable_tracing()

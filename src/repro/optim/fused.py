@@ -26,6 +26,7 @@ import numpy as np
 from ..nn.arena import ParameterArena
 from ..nn.module import Parameter
 from ..observability import metrics as _metrics
+from ..tensor import backend as _backend
 from .sgd import SGD
 
 __all__ = ["FusedSGD"]
@@ -102,26 +103,19 @@ class FusedSGD(SGD):
 
     def _fused_update(self, flat: np.ndarray, g: np.ndarray) -> None:
         """In-place ``flat -= lr * d`` where ``d`` is the decayed,
-        momentum-filtered gradient.  ``g`` is clobbered."""
-        tmp = self._tmp
-        if self.weight_decay > 0:
-            # g += decay_mask * flat  (mask is 0 on no_decay segments)
-            np.multiply(self._decay_mask, flat, out=tmp)
-            g += tmp
-        if self.momentum > 0:
-            buf = self._momentum_buf
-            if buf is None:
-                buf = self._momentum_buf = g.copy()
-            else:
-                buf *= self.momentum
-                buf += g
-            if self.nesterov:
-                np.multiply(buf, self.momentum, out=tmp)
-                g += tmp
-                d = g
-            else:
-                d = buf
-        else:
-            d = g
-        np.multiply(d, np.float32(self.lr), out=tmp)
-        flat -= tmp
+        momentum-filtered gradient.  ``g`` is clobbered.
+
+        The vector chain itself lives in the backend layer
+        (:meth:`repro.tensor.backend.Backend.sgd_update`) so backends can
+        fuse or reorder passes; the arena/mask bookkeeping stays here.
+        """
+        self._momentum_buf = _backend.active().sgd_update(
+            flat,
+            g,
+            self._tmp,
+            self._decay_mask if self.weight_decay > 0 else None,
+            self._momentum_buf,
+            self.lr,
+            self.momentum,
+            self.nesterov,
+        )

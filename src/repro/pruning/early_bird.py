@@ -35,7 +35,9 @@ __all__ = [
 ]
 
 
-def bn_channel_scores(model: Module, prunable_bns: list[str] | None = None) -> dict[str, np.ndarray]:
+def bn_channel_scores(
+    model: Module, prunable_bns: list[str] | None = None
+) -> dict[str, np.ndarray]:
     """|γ| per channel for each prunable BatchNorm layer."""
     scores = {}
     for path, mod in model.named_modules():

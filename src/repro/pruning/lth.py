@@ -28,7 +28,14 @@ from ..nn.conv import Conv2d
 from ..nn.linear import Linear
 from ..nn.module import Module
 
-__all__ = ["prunable_weights", "global_magnitude_mask", "apply_masks", "sparsity", "LTHRunner", "LTHRound"]
+__all__ = [
+    "prunable_weights",
+    "global_magnitude_mask",
+    "apply_masks",
+    "sparsity",
+    "LTHRunner",
+    "LTHRound",
+]
 
 
 def prunable_weights(model: Module) -> list[tuple[str, np.ndarray]]:

@@ -5,6 +5,7 @@ dynamic autograd graph, convolution/pooling kernels via im2col, and fused
 functional primitives (softmax, cross-entropy, embedding, dropout).
 """
 
+from . import backend
 from .tensor import Tensor, graph_nodes_created, is_grad_enabled, no_grad
 from .conv_ops import conv2d, max_pool2d, avg_pool2d, global_avg_pool2d, im2col, col2im
 from .functional import (
@@ -15,12 +16,14 @@ from .functional import (
     embedding,
     dropout,
     one_hot,
+    bias_relu,
 )
 from .grad_check import numerical_grad, check_gradients
 from .profiler import count_macs
 
 __all__ = [
     "Tensor",
+    "backend",
     "no_grad",
     "is_grad_enabled",
     "graph_nodes_created",
@@ -37,6 +40,7 @@ __all__ = [
     "embedding",
     "dropout",
     "one_hot",
+    "bias_relu",
     "numerical_grad",
     "check_gradients",
     "count_macs",

@@ -1,0 +1,611 @@
+"""Pluggable op backends for the tensor engine.
+
+Every hot kernel in :mod:`repro.tensor` (im2col convolution, GEMM, relu,
+the fused bias+relu chain, and the :class:`repro.optim.FusedSGD` update)
+dispatches through the *active* backend:
+
+``numpy``
+    The reference implementation — the exact code the engine has always
+    run, bit-for-bit.  Every other backend is validated against it.
+
+``fast``
+    BLAS-oriented kernels: the im2col conv path gathers patches directly
+    into a transposed ``(C·kh·kw, N·oh·ow)`` layout so the forward pass
+    is one ``w2d @ cols`` GEMM (1×1 convs — the Pufferfish factorized
+    V-factor hot path — become a single batched ``np.matmul`` with no
+    transpose copies at all), fused elementwise chains (``bias_relu`` in
+    one pass via ``np.maximum(x + b, 0, out=...)``), and optional
+    threaded per-sample patch gathering (``REPRO_BACKEND_THREADS``).
+
+Selection, in precedence order: ``repro.tensor.backend.use()`` context
+manager > ``set_backend()`` / the ``--backend`` CLI flag > the
+``REPRO_BACKEND`` environment variable (read once at import) > the
+``numpy`` default.
+
+Parity policy: every dispatched op carries a tag in :data:`PARITY` —
+``bit-exact`` ops must return arrays equal under ``==`` to the numpy
+reference (``-0.0`` vs ``+0.0`` is tolerated), ``tolerance`` ops must
+agree within a small relative error (GEMM orientation changes the
+floating-point summation order).  ``tests/test_backend_parity.py``
+enforces the tags; ``benchmarks/test_kernels.py`` re-checks them while
+measuring per-op speedups.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "FastBackend",
+    "PARITY",
+    "active",
+    "available",
+    "get",
+    "register",
+    "set_backend",
+    "use",
+]
+
+# Parity contract per dispatched op, shared by the parity tests and the
+# kernel benchmark.  ``tolerance`` ops change GEMM orientation and hence
+# float summation order; everything else must match the reference under
+# ``np.array_equal``.
+PARITY: dict[str, str] = {
+    "matmul": "bit-exact",
+    "relu": "bit-exact",
+    "bias_relu": "bit-exact",
+    "im2col": "bit-exact",
+    "col2im": "bit-exact",
+    "conv2d_forward": "tolerance",
+    "conv2d_backward": "tolerance",
+    "sgd_update": "bit-exact",
+}
+
+# Tolerances for ``tolerance``-tagged ops.  fp32 reassociation error in a
+# reordered reduction grows with its length (conv bias gradients sum
+# N·oh·ow terms); at this repo's widths the observed relative error stays
+# under 1e-5, so these bounds leave an order of magnitude of margin.
+TOLERANCE_RTOL = 1e-4
+TOLERANCE_ATOL = 1e-5
+
+
+def _out_size(size: int, k: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - k) // stride + 1
+
+
+def _pad_pair(padding: int | tuple[int, int]) -> tuple[int, int]:
+    """Normalize ``padding`` to per-axis ``(pad_h, pad_w)``."""
+    if isinstance(padding, tuple):
+        ph, pw = padding
+        return int(ph), int(pw)
+    return int(padding), int(padding)
+
+
+# ----------------------------------------------------------------------
+# Scratch buffers
+# ----------------------------------------------------------------------
+# Keyed by (tag, shape, dtype).  Backward passes and inference loops hit
+# the same few shapes every iteration; reusing buffers avoids a large
+# zeroed allocation (and its mmap/page-fault churn) per call.  The engine
+# is single-threaded per op, and no scratch buffer ever escapes: callers
+# either copy the result out or only use it transiently within one call.
+
+_SCRATCH: dict[tuple, np.ndarray] = {}
+_SCRATCH_MAX = 32
+
+
+def _scratch(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    key = (tag, shape, np.dtype(dtype).str)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        if len(_SCRATCH) >= _SCRATCH_MAX:
+            _SCRATCH.clear()
+        buf = _SCRATCH[key] = np.empty(shape, dtype=dtype)
+    return buf
+
+
+def _zeroed_scratch(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    buf = _scratch(tag, shape, dtype)
+    buf.fill(0)
+    return buf
+
+
+# ----------------------------------------------------------------------
+# Reference backend
+# ----------------------------------------------------------------------
+
+
+class Backend:
+    """Op namespace; :class:`NumpyBackend` is the reference semantics.
+
+    Conv ops return/accept an opaque ``ctx`` so each backend can cache
+    whatever its own backward pass needs (the reference keeps the im2col
+    rows, the fast backend keeps the transposed column matrix).  The
+    forward's backend owns the ctx layout, so the autograd closure binds
+    the backend that ran the forward even if the active backend changes
+    before ``backward()``.
+    """
+
+    name = "base"
+
+    # -- GEMM ----------------------------------------------------------
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    # -- elementwise ---------------------------------------------------
+
+    def relu(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Return ``(out, mask)``; ``mask=None`` means derive ``out > 0``."""
+        mask = x > 0
+        return x * mask, mask
+
+    def bias_relu(self, x: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Fused ``relu(x + b)``; same ``(out, mask)`` contract as relu."""
+        y = x + b
+        mask = y > 0
+        return y * mask, mask
+
+    # -- im2col / col2im ----------------------------------------------
+
+    def im2col(self, x: np.ndarray, kh: int, kw: int, stride: int, ph: int, pw: int) -> np.ndarray:
+        """Patch rows: ``(N*oh*ow, C*kh*kw)``, one receptive field per row."""
+        n, c, h, w = x.shape
+        out_h = _out_size(h, kh, stride, ph)
+        out_w = _out_size(w, kw, stride, pw)
+        if kh == 1 and kw == 1 and stride == 1 and ph == 0 and pw == 0:
+            # 1×1 convs have one pixel per receptive field: the transform
+            # is a pure transpose, no window view, no pad copy.
+            return np.ascontiguousarray(x.transpose(0, 2, 3, 1).reshape(n * h * w, c))
+        if ph > 0 or pw > 0:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+        # as_strided view over all (kh, kw) windows: (N, C, oh, ow, kh, kw)
+        sn, sc, sh, sw = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, kh, kw),
+            strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+            writeable=False,
+        )
+        # -> (N, oh, ow, C, kh, kw) -> rows
+        cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+        return np.ascontiguousarray(cols)
+
+    def col2im(
+        self,
+        cols: np.ndarray,
+        x_shape: tuple[int, int, int, int],
+        kh: int,
+        kw: int,
+        stride: int,
+        ph: int,
+        pw: int,
+    ) -> np.ndarray:
+        """Adjoint of :meth:`im2col`: scatter-add columns back to NCHW.
+
+        The returned array is always freshly owned by the caller; the
+        padded accumulator itself is a reused scratch buffer.
+        """
+        n, c, h, w = x_shape
+        out_h = _out_size(h, kh, stride, ph)
+        out_w = _out_size(w, kw, stride, pw)
+        if kh == 1 and kw == 1 and stride == 1 and ph == 0 and pw == 0:
+            # 1×1 adjoint: windows never overlap, so the scatter-add is a
+            # plain transpose back to NCHW.
+            return np.ascontiguousarray(cols.reshape(n, h, w, c).transpose(0, 3, 1, 2))
+
+        cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+        if ph > 0 or pw > 0:
+            padded = _zeroed_scratch("col2im", (n, c, h + 2 * ph, w + 2 * pw), cols.dtype)
+        else:
+            # No pad: the accumulator is the result, so it must be fresh.
+            padded = np.zeros((n, c, h, w), dtype=cols.dtype)
+        # Accumulate each kernel offset in a vectorized slab assignment.
+        for i in range(kh):
+            i_max = i + stride * out_h
+            for j in range(kw):
+                j_max = j + stride * out_w
+                padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, :, :, i, j]
+        if ph > 0 or pw > 0:
+            return np.ascontiguousarray(padded[:, :, ph : ph + h, pw : pw + w])
+        return padded
+
+    # -- conv2d --------------------------------------------------------
+
+    def conv2d_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int,
+        ph: int,
+        pw: int,
+        want_ctx: bool,
+    ) -> tuple[np.ndarray, tuple | None]:
+        """NCHW conv forward; returns ``(out, ctx)`` for :meth:`conv2d_backward`."""
+        n, c_in, h, w = x.shape
+        c_out, _, kh, kw = weight.shape
+        out_h = _out_size(h, kh, stride, ph)
+        out_w = _out_size(w, kw, stride, pw)
+
+        cols = self.im2col(x, kh, kw, stride, ph, pw)  # (N*oh*ow, C*kh*kw)
+        w2d = weight.reshape(c_out, -1)  # (c_out, C*kh*kw)
+        out = cols @ w2d.T  # (N*oh*ow, c_out)
+        if bias is not None:
+            out = out + bias
+        out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+        ctx = (cols, w2d, x.shape, kh, kw, stride, ph, pw)
+        return np.ascontiguousarray(out), ctx
+
+    def conv2d_backward(
+        self,
+        g: np.ndarray,
+        ctx: tuple,
+        need_gw: bool,
+        need_gb: bool,
+        need_gx: bool,
+    ) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+        cols, w2d, x_shape, kh, kw, stride, ph, pw = ctx
+        c_out = g.shape[1]
+        g2d = g.transpose(0, 2, 3, 1).reshape(-1, c_out)  # (N*oh*ow, c_out)
+        gw = (g2d.T @ cols).reshape(c_out, -1, kh, kw) if need_gw else None
+        gb = g2d.sum(axis=0) if need_gb else None
+        gx = None
+        if need_gx:
+            gcols = g2d @ w2d  # (N*oh*ow, C*kh*kw)
+            gx = self.col2im(gcols, x_shape, kh, kw, stride, ph, pw)
+        return gw, gb, gx
+
+    # -- optimizer -----------------------------------------------------
+
+    def sgd_update(
+        self,
+        flat: np.ndarray,
+        g: np.ndarray,
+        tmp: np.ndarray,
+        decay_mask: np.ndarray | None,
+        momentum_buf: np.ndarray | None,
+        lr: float,
+        momentum: float,
+        nesterov: bool,
+    ) -> np.ndarray | None:
+        """In-place ``flat -= lr * d`` where ``d`` is the decayed,
+        momentum-filtered gradient.  ``g`` is clobbered; returns the
+        (possibly newly allocated) momentum buffer.
+
+        This is already a fused vector chain — four in-place passes over
+        the arena.  The update is memory-bandwidth-bound, so the fast
+        backend shares it: measured alternatives (cache-blocked chunking,
+        BLAS level-1 ``axpy`` chains) were no faster or strictly slower.
+        """
+        if decay_mask is not None:
+            # g += decay_mask * flat  (mask is 0 on no_decay segments)
+            np.multiply(decay_mask, flat, out=tmp)
+            g += tmp
+        if momentum > 0:
+            if momentum_buf is None:
+                momentum_buf = g.copy()
+            else:
+                momentum_buf *= momentum
+                momentum_buf += g
+            if nesterov:
+                np.multiply(momentum_buf, momentum, out=tmp)
+                g += tmp
+                d = g
+            else:
+                d = momentum_buf
+        else:
+            d = g
+        np.multiply(d, np.float32(lr), out=tmp)
+        flat -= tmp
+        return momentum_buf
+
+
+class NumpyBackend(Backend):
+    """The reference backend: today's code, bit-exact with today's results."""
+
+    name = "numpy"
+
+
+# ----------------------------------------------------------------------
+# Fast backend
+# ----------------------------------------------------------------------
+
+
+class FastBackend(Backend):
+    """BLAS-batched / fused kernels, parity-gated against the reference.
+
+    Conv strategy: gather patches straight into the transposed layout
+    ``colsT = (C·kh·kw, N·oh·ow)`` with one slab assignment per kernel
+    offset (kh·kw assignments instead of an N·oh·ow-row strided copy),
+    then run the forward as a single ``w2d @ colsT`` GEMM with an
+    in-place bias add.  The backward reuses ``colsT`` for the weight
+    gradient and scatter-adds the input gradient with the same slab
+    loop.  Outputs change GEMM orientation vs the reference, so conv
+    forward/backward are ``tolerance``-tagged; everything else is
+    bit-exact.
+    """
+
+    name = "fast"
+
+    def __init__(self, threads: int | None = None):
+        if threads is None:
+            threads = int(os.environ.get("REPRO_BACKEND_THREADS", "0") or "0")
+        self.threads = max(threads, 0)
+        self._pool = None
+
+    # -- elementwise ---------------------------------------------------
+
+    def relu(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        # Single-pass maximum; the backward mask is derived lazily from
+        # ``out > 0`` (identical to ``x > 0`` everywhere, including ±0).
+        return np.maximum(x, 0), None
+
+    def bias_relu(self, x: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        y = x + b
+        np.maximum(y, 0, out=y)
+        return y, None
+
+    # -- im2col --------------------------------------------------------
+
+    def im2col(self, x: np.ndarray, kh: int, kw: int, stride: int, ph: int, pw: int) -> np.ndarray:
+        """Row-layout im2col via per-offset slab assignment (bit-exact).
+
+        The 6-D strided gather in the reference touches memory in
+        N·oh·ow-row order; assigning one ``(N, oh, ow, C)`` slab per
+        kernel offset keeps each copy dense and measurably faster.
+        """
+        n, c, h, w = x.shape
+        out_h = _out_size(h, kh, stride, ph)
+        out_w = _out_size(w, kw, stride, pw)
+        if kh == 1 and kw == 1 and stride == 1 and ph == 0 and pw == 0:
+            return np.ascontiguousarray(x.transpose(0, 2, 3, 1).reshape(n * h * w, c))
+        if ph > 0 or pw > 0:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        rows6 = np.empty((n, out_h, out_w, c, kh, kw), dtype=x.dtype)
+        for i in range(kh):
+            i_max = i + stride * out_h
+            for j in range(kw):
+                j_max = j + stride * out_w
+                rows6[:, :, :, :, i, j] = x[:, :, i:i_max:stride, j:j_max:stride].transpose(
+                    0, 2, 3, 1
+                )
+        return rows6.reshape(n * out_h * out_w, c * kh * kw)
+
+    # -- conv2d --------------------------------------------------------
+
+    def _gather_colsT(
+        self,
+        xp: np.ndarray,
+        cols4: np.ndarray,
+        kh: int,
+        kw: int,
+        stride: int,
+        out_h: int,
+        out_w: int,
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Fill ``cols4[:, i, j, lo:hi]`` slabs for samples ``lo:hi``."""
+        for i in range(kh):
+            i_max = i + stride * out_h
+            for j in range(kw):
+                j_max = j + stride * out_w
+                cols4[:, i, j, lo:hi] = xp[lo:hi, :, i:i_max:stride, j:j_max:stride].transpose(
+                    1, 0, 2, 3
+                )
+
+    def _maybe_threaded_gather(
+        self,
+        xp: np.ndarray,
+        cols4: np.ndarray,
+        kh: int,
+        kw: int,
+        stride: int,
+        out_h: int,
+        out_w: int,
+        n: int,
+    ) -> None:
+        if self.threads > 1 and n >= self.threads:
+            # Per-sample partitioning: every worker writes a disjoint
+            # batch slice of cols4, so the result is deterministic and
+            # identical to the serial gather.
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.threads, thread_name_prefix="repro-fast"
+                )
+            chunk = -(-n // self.threads)
+            futures = [
+                self._pool.submit(
+                    self._gather_colsT,
+                    xp, cols4, kh, kw, stride, out_h, out_w, lo, min(lo + chunk, n),
+                )
+                for lo in range(0, n, chunk)
+            ]
+            for f in futures:
+                f.result()
+        else:
+            self._gather_colsT(xp, cols4, kh, kw, stride, out_h, out_w, 0, n)
+
+    def conv2d_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int,
+        ph: int,
+        pw: int,
+        want_ctx: bool,
+    ) -> tuple[np.ndarray, tuple | None]:
+        n, c_in, h, w = x.shape
+        c_out, _, kh, kw = weight.shape
+        out_h = _out_size(h, kh, stride, ph)
+        out_w = _out_size(w, kw, stride, pw)
+        w2d = weight.reshape(c_out, -1)
+
+        if kh == 1 and kw == 1 and stride == 1 and ph == 0 and pw == 0:
+            # Batched GEMM straight over NCHW: (c_out, C) @ (N, C, H·W)
+            # broadcasts to (N, c_out, H·W) — no transpose copies at all.
+            x3 = x.reshape(n, c_in, h * w)
+            out3 = np.matmul(w2d, x3)
+            if bias is not None:
+                out3 += bias[:, None]
+            ctx = ("1x1", x3, w2d, x.shape) if want_ctx else None
+            return out3.reshape(n, c_out, h, w), ctx
+
+        if ph > 0 or pw > 0:
+            xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        else:
+            xp = x
+        cshape = (c_in * kh * kw, n * out_h * out_w)
+        if want_ctx:
+            # The backward closure captures colsT, so it must be freshly
+            # owned — a reused scratch buffer would be clobbered by the
+            # next same-shape conv before backward() runs.
+            colsT = np.empty(cshape, dtype=x.dtype)
+        else:
+            colsT = _scratch("colsT", cshape, x.dtype)
+        cols4 = colsT.reshape(c_in, kh, kw, n, out_h, out_w)
+        self._maybe_threaded_gather(xp, cols4, kh, kw, stride, out_h, out_w, n)
+
+        # One big GEMM into a transient scratch, bias fused in place.
+        oT = _scratch("convT_out", (c_out, n * out_h * out_w), np.result_type(x, weight))
+        np.matmul(w2d, colsT, out=oT)
+        if bias is not None:
+            oT += bias[:, None]
+        out = np.ascontiguousarray(
+            oT.reshape(c_out, n, out_h, out_w).transpose(1, 0, 2, 3)
+        )
+        ctx = ("gen", colsT, w2d, x.shape, kh, kw, stride, ph, pw) if want_ctx else None
+        return out, ctx
+
+    def conv2d_backward(
+        self,
+        g: np.ndarray,
+        ctx: tuple,
+        need_gw: bool,
+        need_gb: bool,
+        need_gx: bool,
+    ) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+        if ctx[0] == "1x1":
+            _, x3, w2d, x_shape = ctx
+            n, c_in, h, w = x_shape
+            c_out = g.shape[1]
+            g3 = g.reshape(n, c_out, h * w)
+            gw = None
+            if need_gw:
+                # Batched per-sample outer products, reduced over N.
+                gw = np.matmul(g3, x3.transpose(0, 2, 1)).sum(axis=0)
+                gw = gw.reshape(c_out, c_in, 1, 1)
+            gb = g.sum(axis=(0, 2, 3)) if need_gb else None
+            gx = None
+            if need_gx:
+                gx = np.matmul(w2d.T, g3).reshape(x_shape)
+            return gw, gb, gx
+
+        _, colsT, w2d, x_shape, kh, kw, stride, ph, pw = ctx
+        n, c_in, h, w = x_shape
+        c_out = g.shape[1]
+        out_h = _out_size(h, kh, stride, ph)
+        out_w = _out_size(w, kw, stride, pw)
+        # (N, c_out, oh, ow) -> (c_out, N*oh*ow), matching colsT's columns.
+        gT = np.ascontiguousarray(g.transpose(1, 0, 2, 3)).reshape(c_out, -1)
+        gw = (gT @ colsT.T).reshape(c_out, c_in, kh, kw) if need_gw else None
+        gb = gT.sum(axis=1) if need_gb else None
+        gx = None
+        if need_gx:
+            gcolsT = _scratch("gcolsT", colsT.shape, colsT.dtype)
+            np.matmul(w2d.T, gT, out=gcolsT)
+            gc6 = gcolsT.reshape(c_in, kh, kw, n, out_h, out_w)
+            if ph > 0 or pw > 0:
+                padded = _zeroed_scratch(
+                    "conv_gx", (n, c_in, h + 2 * ph, w + 2 * pw), gcolsT.dtype
+                )
+            else:
+                padded = np.zeros((n, c_in, h, w), dtype=gcolsT.dtype)
+            for i in range(kh):
+                i_max = i + stride * out_h
+                for j in range(kw):
+                    j_max = j + stride * out_w
+                    padded[:, :, i:i_max:stride, j:j_max:stride] += gc6[:, i, j].transpose(
+                        1, 0, 2, 3
+                    )
+            if ph > 0 or pw > 0:
+                gx = np.ascontiguousarray(padded[:, :, ph : ph + h, pw : pw + w])
+            else:
+                gx = padded
+        return gw, gb, gx
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_BACKENDS: dict[str, Backend] = {}
+
+
+def register(backend: Backend) -> Backend:
+    """Add a backend instance to the registry (name collisions replace)."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+register(NumpyBackend())
+register(FastBackend())
+
+
+def available() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def get(name: str) -> Backend:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available())}"
+        ) from None
+
+
+def _default() -> Backend:
+    return get(os.environ.get("REPRO_BACKEND", "numpy"))
+
+
+_ACTIVE: Backend = _default()
+
+
+def active() -> Backend:
+    """The backend every dispatched op currently routes through."""
+    return _ACTIVE
+
+
+def set_backend(name: str) -> Backend:
+    """Select the active backend process-wide; returns it."""
+    global _ACTIVE
+    _ACTIVE = get(name)
+    return _ACTIVE
+
+
+@contextmanager
+def use(name: str):
+    """Temporarily select a backend::
+
+        with backend.use("fast"):
+            model(x)
+    """
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = get(name)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = prev

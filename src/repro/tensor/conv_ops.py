@@ -4,43 +4,28 @@ All routines operate on NCHW layout.  The im2col transform turns a
 convolution into one big matrix multiplication, which keeps both the
 forward and backward passes inside BLAS instead of Python loops — the
 standard trick for NumPy-only deep-learning stacks.
+
+The actual kernels live in :mod:`repro.tensor.backend`; everything here
+dispatches through the active backend, so the same autograd graph runs
+on the bit-exact ``numpy`` reference or the BLAS-batched ``fast`` path.
+``padding`` may be an int or an ``(pad_h, pad_w)`` pair.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import backend as _backend
 from . import profiler as _profiler
-from .tensor import Tensor
+from .backend import _out_size, _pad_pair
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d", "im2col", "col2im"]
 
 
-def _out_size(size: int, k: int, stride: int, pad: int) -> int:
-    return (size + 2 * pad - k) // stride + 1
-
-
-# Scratch buffers for col2im's padded accumulator, keyed by (shape, dtype).
-# Backward passes call col2im with the same few shapes every iteration;
-# reusing the accumulator avoids a large zeroed allocation (and its
-# mmap/page-fault churn) per call.  Training is single-threaded, and the
-# buffer never escapes: callers receive a copy of the inner region.
-_COL2IM_SCRATCH: dict[tuple, np.ndarray] = {}
-_COL2IM_SCRATCH_MAX = 16
-
-
-def _col2im_scratch(shape: tuple[int, ...], dtype) -> np.ndarray:
-    key = (shape, np.dtype(dtype).str)
-    buf = _COL2IM_SCRATCH.get(key)
-    if buf is None:
-        if len(_COL2IM_SCRATCH) >= _COL2IM_SCRATCH_MAX:
-            _COL2IM_SCRATCH.clear()
-        buf = _COL2IM_SCRATCH[key] = np.empty(shape, dtype=dtype)
-    buf.fill(0)
-    return buf
-
-
-def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int | tuple[int, int]
+) -> np.ndarray:
     """Rearrange image patches into columns.
 
     Parameters
@@ -52,28 +37,8 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray
     ``(N * out_h * out_w, C * kh * kw)`` matrix where each row is one
     receptive field.
     """
-    n, c, h, w = x.shape
-    out_h = _out_size(h, kh, stride, pad)
-    out_w = _out_size(w, kw, stride, pad)
-    if kh == 1 and kw == 1 and stride == 1 and pad == 0:
-        # 1×1 convs — the Pufferfish factorized V-factor hot path — have
-        # one pixel per receptive field: the transform is a pure
-        # transpose, no window view, no pad copy.
-        return np.ascontiguousarray(x.transpose(0, 2, 3, 1).reshape(n * h * w, c))
-    if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-
-    # as_strided view over all (kh, kw) windows: (N, C, out_h, out_w, kh, kw)
-    sn, sc, sh, sw = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
-    )
-    # -> (N, out_h, out_w, C, kh, kw) -> rows
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
-    return np.ascontiguousarray(cols)
+    ph, pw = _pad_pair(pad)
+    return _backend.active().im2col(x, kh, kw, stride, ph, pw)
 
 
 def col2im(
@@ -82,76 +47,78 @@ def col2im(
     kh: int,
     kw: int,
     stride: int,
-    pad: int,
+    pad: int | tuple[int, int],
 ) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back to image layout.
 
     The returned array is always freshly owned by the caller (gradients
-    returned here are stored directly by ``Tensor._accumulate``); the
-    padded accumulator itself is a reused scratch buffer.
+    returned here are stored directly by ``Tensor._accumulate``); any
+    padded accumulator is backend-managed scratch.
     """
-    n, c, h, w = x_shape
-    out_h = _out_size(h, kh, stride, pad)
-    out_w = _out_size(w, kw, stride, pad)
-    if kh == 1 and kw == 1 and stride == 1 and pad == 0:
-        # 1×1 adjoint: windows never overlap, so the scatter-add is a
-        # plain transpose back to NCHW.
-        return np.ascontiguousarray(cols.reshape(n, h, w, c).transpose(0, 3, 1, 2))
-
-    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
-    if pad > 0:
-        padded = _col2im_scratch((n, c, h + 2 * pad, w + 2 * pad), cols.dtype)
-    else:
-        # No pad: the accumulator is the result, so it must be fresh.
-        padded = np.zeros((n, c, h, w), dtype=cols.dtype)
-    # Accumulate each kernel offset in a vectorized slab assignment.
-    for i in range(kh):
-        i_max = i + stride * out_h
-        for j in range(kw):
-            j_max = j + stride * out_w
-            padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, :, :, i, j]
-    if pad > 0:
-        return np.ascontiguousarray(padded[:, :, pad : pad + h, pad : pad + w])
-    return padded
+    ph, pw = _pad_pair(pad)
+    return _backend.active().col2im(cols, x_shape, kh, kw, stride, ph, pw)
 
 
-def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0) -> Tensor:
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None,
+    stride: int = 1,
+    padding: int | tuple[int, int] = 0,
+) -> Tensor:
     """2-D convolution (cross-correlation) in NCHW with OIHW weights.
 
     ``weight`` has shape ``(c_out, c_in, kh, kw)``.  The forward pass is a
     single GEMM over the im2col matrix; the backward pass reuses the cached
-    columns for the weight gradient and col2im for the input gradient.
+    columns for the weight gradient and col2im for the input gradient.  The
+    backend that runs the forward owns the cached context, so the backward
+    stays consistent even if the active backend changes in between.
     """
     n, c_in, h, w = x.data.shape
     c_out, c_in_w, kh, kw = weight.data.shape
     if c_in != c_in_w:
         raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
-    out_h = _out_size(h, kh, stride, padding)
-    out_w = _out_size(w, kw, stride, padding)
+    ph, pw = _pad_pair(padding)
+    out_h = _out_size(h, kh, stride, ph)
+    out_w = _out_size(w, kw, stride, pw)
 
-    cols = im2col(x.data, kh, kw, stride, padding)  # (N*oh*ow, C*kh*kw)
-    w2d = weight.data.reshape(c_out, -1)  # (c_out, C*kh*kw)
-    out = cols @ w2d.T  # (N*oh*ow, c_out)
+    be = _backend.active()
+    want_ctx = is_grad_enabled() and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    out, ctx = be.conv2d_forward(
+        x.data,
+        weight.data,
+        bias.data if bias is not None else None,
+        stride,
+        ph,
+        pw,
+        want_ctx,
+    )
     if _profiler.profiling_active():
         # c_in·c_out·k²·H_out·W_out MACs per image (Table 1's conv formula).
-        _profiler.record_conv(cols.shape[0] * cols.shape[1] * c_out)
-    if bias is not None:
-        out = out + bias.data
-    out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+        _profiler.record_conv(n * out_h * out_w * c_in * kh * kw * c_out)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
 
     def backward(g: np.ndarray) -> None:
-        g2d = g.transpose(0, 2, 3, 1).reshape(-1, c_out)  # (N*oh*ow, c_out)
-        if weight.requires_grad:
-            weight._accumulate((g2d.T @ cols).reshape(weight.data.shape))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(g2d.sum(axis=0))
-        if x.requires_grad:
-            gcols = g2d @ w2d  # (N*oh*ow, C*kh*kw)
-            x._accumulate(col2im(gcols, x.data.shape, kh, kw, stride, padding))
+        gw, gb, gx = be.conv2d_backward(
+            g,
+            ctx,
+            need_gw=weight.requires_grad,
+            need_gb=bias is not None and bias.requires_grad,
+            need_gx=x.requires_grad,
+        )
+        if gw is not None:
+            weight._accumulate(gw)
+        if gb is not None:
+            bias._accumulate(gb)
+        if gx is not None:
+            x._accumulate(gx)
 
-    return Tensor._from_op(np.ascontiguousarray(out), parents, backward, "conv2d")
+    return Tensor._from_op(out, parents, backward, "conv2d")
 
 
 def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import backend as _backend
 from .tensor import Tensor
 
 __all__ = [
@@ -20,7 +21,29 @@ __all__ = [
     "embedding",
     "dropout",
     "one_hot",
+    "bias_relu",
 ]
+
+
+def bias_relu(x: Tensor, bias: Tensor) -> Tensor:
+    """Fused ``relu(x + bias)`` — one graph node instead of two.
+
+    The heavy lifting dispatches through the active backend: the ``fast``
+    backend computes ``maximum(x + b, 0)`` in a single in-place pass; the
+    ``numpy`` reference keeps the two-step mask form, bit-exact with an
+    unfused ``(x + bias).relu()``.  The gradient masks agree everywhere
+    (``out > 0`` equals ``x + b > 0``, including at ±0), and
+    ``Tensor._accumulate`` unbroadcasts the bias gradient to its shape.
+    """
+    out, mask = _backend.active().bias_relu(x.data, bias.data)
+
+    def backward(g: np.ndarray) -> None:
+        m = mask if mask is not None else out > 0
+        gm = g * m
+        x._accumulate(gm)
+        bias._accumulate(gm)
+
+    return Tensor._from_op(out, (x, bias), backward, "bias_relu")
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:

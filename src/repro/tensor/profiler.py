@@ -34,7 +34,14 @@ from __future__ import annotations
 
 from ..observability import metrics as _metrics
 
-__all__ = ["count_macs", "macs_active", "add_macs", "profiling_active", "record_gemm", "record_conv"]
+__all__ = [
+    "count_macs",
+    "macs_active",
+    "add_macs",
+    "profiling_active",
+    "record_gemm",
+    "record_conv",
+]
 
 # Stack of active count_macs frames (innermost last).  Each frame is a
 # one-element list so the accumulated total is mutable in place.

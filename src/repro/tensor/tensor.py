@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from . import backend as _backend
 from . import profiler as _profiler
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "graph_nodes_created"]
@@ -392,12 +393,15 @@ class Tensor:
         return Tensor._from_op(out_data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
+        out_data, mask = _backend.active().relu(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * mask)
+            # Backends may skip materializing the mask on the forward pass
+            # (``out > 0`` is identical to ``x > 0``, including at ±0).
+            m = mask if mask is not None else out_data > 0
+            self._accumulate(g * m)
 
-        return Tensor._from_op(self.data * mask, (self,), backward, "relu")
+        return Tensor._from_op(out_data, (self,), backward, "relu")
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -434,7 +438,7 @@ class Tensor:
     def matmul(self, other: "Tensor") -> "Tensor":
         """Matrix product supporting 2-D and batched (>2-D) operands."""
         other = Tensor._coerce(other)
-        out_data = self.data @ other.data
+        out_data = _backend.active().matmul(self.data, other.data)
         if _profiler.profiling_active():
             # MACs = (#output elements) × (contracted dimension).
             k = self.data.shape[-1]
@@ -583,7 +587,9 @@ class Tensor:
         return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
-    def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> "Tensor":
+    def randn(
+        *shape, rng: np.random.Generator | None = None, requires_grad: bool = False
+    ) -> "Tensor":
         rng = rng or np.random.default_rng()
         return Tensor(
             rng.standard_normal(shape).astype(DEFAULT_DTYPE), requires_grad=requires_grad

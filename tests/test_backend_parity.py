@@ -1,0 +1,227 @@
+"""Per-op parity of every non-reference backend against ``numpy``.
+
+Each dispatched op carries a tag in :data:`repro.tensor.backend.PARITY`:
+``bit-exact`` ops must return arrays equal under ``==`` to the reference
+(``-0.0`` vs ``+0.0`` tolerated), ``tolerance`` ops must agree within the
+published rtol/atol (GEMM orientation changes float summation order).
+The same tags drive the parity column of ``benchmarks/test_kernels.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, backend, bias_relu, col2im, conv2d, im2col
+from repro.tensor.backend import (
+    PARITY,
+    TOLERANCE_ATOL,
+    TOLERANCE_RTOL,
+    FastBackend,
+)
+
+NON_REF = [n for n in backend.available() if n != "numpy"]
+
+CONV_SHAPES = [
+    # (n, c_in, h, w, c_out, k, stride, padding)
+    (2, 3, 8, 8, 4, 3, 1, 1),
+    (2, 3, 9, 9, 4, 3, 2, 1),
+    (1, 2, 7, 5, 3, 3, 2, (2, 1)),
+    (2, 4, 6, 6, 5, 1, 1, 0),  # 1×1 fast path
+    (1, 3, 5, 5, 2, 5, 1, 2),
+]
+
+
+def assert_parity(op: str, ref: np.ndarray, got: np.ndarray) -> None:
+    assert op in PARITY, f"op {op!r} missing a parity tag"
+    if PARITY[op] == "bit-exact":
+        assert np.array_equal(ref, got), f"{op}: bit-exact parity violated"
+    else:
+        np.testing.assert_allclose(got, ref, rtol=TOLERANCE_RTOL, atol=TOLERANCE_ATOL)
+
+
+def run_conv(name, x_np, w_np, b_np, g_np, stride, padding):
+    with backend.use(name):
+        x = Tensor(x_np.copy(), requires_grad=True)
+        w = Tensor(w_np.copy(), requires_grad=True)
+        b = Tensor(b_np.copy(), requires_grad=True) if b_np is not None else None
+        out = conv2d(x, w, b, stride=stride, padding=padding)
+        out.backward(g_np)
+        return out.data, x.grad, w.grad, None if b is None else b.grad
+
+
+@pytest.mark.parametrize("name", NON_REF)
+class TestOpParity:
+    def test_matmul(self, name, rng):
+        for a_shape, b_shape in [((5, 7), (7, 3)), ((2, 4, 6), (6, 5))]:
+            a = rng.standard_normal(a_shape).astype(np.float32)
+            b = rng.standard_normal(b_shape).astype(np.float32)
+            ref = backend.get("numpy").matmul(a, b)
+            got = backend.get(name).matmul(a, b)
+            assert_parity("matmul", ref, got)
+
+    def test_relu_forward_and_mask(self, name, rng):
+        x = rng.standard_normal((64, 33)).astype(np.float32)
+        x[0, :4] = [0.0, -0.0, 1.0, -1.0]  # signed-zero edge cases
+        ref_out, ref_mask = backend.get("numpy").relu(x)
+        got_out, got_mask = backend.get(name).relu(x)
+        assert_parity("relu", ref_out, got_out)
+        rm = ref_mask if ref_mask is not None else ref_out > 0
+        gm = got_mask if got_mask is not None else got_out > 0
+        assert np.array_equal(rm, gm), "relu backward masks diverge"
+
+    def test_relu_grads(self, name, rng):
+        x_np = rng.standard_normal((8, 5)).astype(np.float32)
+        g_np = rng.standard_normal((8, 5)).astype(np.float32)
+        grads = {}
+        for b in ("numpy", name):
+            with backend.use(b):
+                x = Tensor(x_np.copy(), requires_grad=True)
+                x.relu().backward(g_np)
+                grads[b] = x.grad
+        assert_parity("relu", grads["numpy"], grads[name])
+
+    def test_bias_relu_matches_unfused(self, name, rng):
+        x_np = rng.standard_normal((16, 9)).astype(np.float32)
+        b_np = rng.standard_normal((9,)).astype(np.float32)
+        g_np = rng.standard_normal((16, 9)).astype(np.float32)
+        results = {}
+        for b in ("numpy", name):
+            with backend.use(b):
+                x = Tensor(x_np.copy(), requires_grad=True)
+                bias = Tensor(b_np.copy(), requires_grad=True)
+                out = bias_relu(x, bias)
+                out.backward(g_np)
+                results[b] = (out.data, x.grad, bias.grad)
+        for ref, got in zip(results["numpy"], results[name]):
+            assert_parity("bias_relu", ref, got)
+        # The fused node must also agree with the unfused add→relu chain.
+        x = Tensor(x_np.copy(), requires_grad=True)
+        bias = Tensor(b_np.copy(), requires_grad=True)
+        unfused = (x + bias).relu()
+        unfused.backward(g_np)
+        assert np.array_equal(results["numpy"][0], unfused.data)
+        assert np.array_equal(results["numpy"][1], x.grad)
+        assert np.array_equal(results["numpy"][2], bias.grad)
+
+    @pytest.mark.parametrize("k,stride,pad", [(3, 1, 1), (3, 2, (2, 1)), (1, 1, 0), (2, 2, 0)])
+    def test_im2col(self, name, rng, k, stride, pad):
+        x = rng.standard_normal((2, 3, 9, 8)).astype(np.float32)
+        with backend.use("numpy"):
+            ref = im2col(x, k, k, stride, pad)
+        with backend.use(name):
+            got = im2col(x, k, k, stride, pad)
+        assert_parity("im2col", ref, got)
+
+    @pytest.mark.parametrize("k,stride,pad", [(3, 1, 1), (3, 2, (2, 1)), (1, 1, 0)])
+    def test_col2im(self, name, rng, k, stride, pad):
+        x_shape = (2, 3, 9, 8)
+        with backend.use("numpy"):
+            cols = im2col(rng.standard_normal(x_shape).astype(np.float32), k, k, stride, pad)
+            ref = col2im(cols, x_shape, k, k, stride, pad)
+        with backend.use(name):
+            got = col2im(cols, x_shape, k, k, stride, pad)
+        assert_parity("col2im", ref, got)
+
+    @pytest.mark.parametrize("shape", CONV_SHAPES)
+    def test_conv2d_forward_backward(self, name, rng, shape):
+        n, c_in, h, w, c_out, k, stride, padding = shape
+        x_np = rng.standard_normal((n, c_in, h, w)).astype(np.float32)
+        w_np = (rng.standard_normal((c_out, c_in, k, k)) * 0.1).astype(np.float32)
+        b_np = rng.standard_normal((c_out,)).astype(np.float32)
+        ph, pw = padding if isinstance(padding, tuple) else (padding, padding)
+        oh = (h + 2 * ph - k) // stride + 1
+        ow = (w + 2 * pw - k) // stride + 1
+        g_np = rng.standard_normal((n, c_out, oh, ow)).astype(np.float32)
+
+        ref = run_conv("numpy", x_np, w_np, b_np, g_np, stride, padding)
+        got = run_conv(name, x_np, w_np, b_np, g_np, stride, padding)
+        assert_parity("conv2d_forward", ref[0], got[0])
+        for ref_g, got_g in zip(ref[1:], got[1:]):
+            assert_parity("conv2d_backward", ref_g, got_g)
+
+    @pytest.mark.parametrize("momentum,nesterov,decay", [
+        (0.0, False, 0.0),
+        (0.9, False, 5e-4),
+        (0.9, True, 5e-4),
+    ])
+    def test_sgd_update(self, name, rng, momentum, nesterov, decay):
+        size = 4096
+        flat0 = rng.standard_normal(size).astype(np.float32)
+        g0 = rng.standard_normal(size).astype(np.float32)
+        buf0 = rng.standard_normal(size).astype(np.float32) if momentum else None
+        mask = (rng.random(size) > 0.3).astype(np.float32) * decay if decay else None
+        states = {}
+        for b in ("numpy", name):
+            flat, g = flat0.copy(), g0.copy()
+            buf = None if buf0 is None else buf0.copy()
+            tmp = np.empty(size, dtype=np.float32)
+            buf = backend.get(b).sgd_update(flat, g, tmp, mask, buf, 0.05, momentum, nesterov)
+            states[b] = (flat, buf)
+        assert_parity("sgd_update", states["numpy"][0], states[name][0])
+        if momentum:
+            assert_parity("sgd_update", states["numpy"][1], states[name][1])
+
+
+class TestParityContract:
+    def test_every_dispatched_op_is_tagged(self):
+        assert set(PARITY) == {
+            "matmul",
+            "relu",
+            "bias_relu",
+            "im2col",
+            "col2im",
+            "conv2d_forward",
+            "conv2d_backward",
+            "sgd_update",
+        }
+        assert set(PARITY.values()) <= {"bit-exact", "tolerance"}
+
+    def test_registry(self):
+        assert "numpy" in backend.available()
+        assert "fast" in backend.available()
+        with pytest.raises(ValueError, match="unknown backend"):
+            backend.get("does-not-exist")
+
+    def test_use_restores_previous(self):
+        prev = backend.active()
+        with backend.use("fast") as be:
+            assert be.name == "fast"
+            assert backend.active() is be
+            with backend.use("numpy"):
+                assert backend.active().name == "numpy"
+            assert backend.active().name == "fast"
+        assert backend.active() is prev
+
+    def test_use_restores_on_error(self):
+        prev = backend.active()
+        with pytest.raises(RuntimeError):
+            with backend.use("fast"):
+                raise RuntimeError("boom")
+        assert backend.active() is prev
+
+    def test_set_backend(self):
+        prev = backend.active()
+        try:
+            assert backend.set_backend("fast").name == "fast"
+            assert backend.active().name == "fast"
+        finally:
+            backend.set_backend(prev.name)
+
+
+class TestThreadedGather:
+    def test_threaded_conv_matches_serial(self, rng):
+        """REPRO_BACKEND_THREADS gathering is per-sample-partitioned and
+        must be bit-identical to the serial fast path."""
+        serial = FastBackend(threads=0)
+        threaded = FastBackend(threads=4)
+        x = rng.standard_normal((8, 3, 10, 10)).astype(np.float32)
+        w = rng.standard_normal((6, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal((6,)).astype(np.float32)
+        out_s, ctx_s = serial.conv2d_forward(x, w, b, 1, 1, 1, True)
+        out_t, ctx_t = threaded.conv2d_forward(x, w, b, 1, 1, 1, True)
+        assert np.array_equal(out_s, out_t)
+        g = rng.standard_normal(out_s.shape).astype(np.float32)
+        for gs, gt in zip(
+            serial.conv2d_backward(g, ctx_s, True, True, True),
+            threaded.conv2d_backward(g, ctx_t, True, True, True),
+        ):
+            assert np.array_equal(gs, gt)

@@ -133,7 +133,11 @@ host_specs = st.builds(
 
 class TestPlacementProperties:
     @settings(max_examples=150, deadline=None)
-    @given(replicas=replica_lists, host=host_specs, policy=st.sampled_from(["ffd", "best_fit", "spread"]))
+    @given(
+        replicas=replica_lists,
+        host=host_specs,
+        policy=st.sampled_from(["ffd", "best_fit", "spread"]),
+    )
     def test_no_host_over_budget(self, replicas, host, policy):
         result = pack(replicas, host, policy=policy)
         for h in result.hosts:
@@ -142,7 +146,11 @@ class TestPlacementProperties:
             assert h.mem_used == sum(r.mem_bytes for r in h.replicas)
 
     @settings(max_examples=150, deadline=None)
-    @given(replicas=replica_lists, host=host_specs, policy=st.sampled_from(["ffd", "best_fit", "spread"]))
+    @given(
+        replicas=replica_lists,
+        host=host_specs,
+        policy=st.sampled_from(["ffd", "best_fit", "spread"]),
+    )
     def test_every_replica_placed_or_rejected(self, replicas, host, policy):
         result = pack(replicas, host, policy=policy)
         assert result.n_placed + len(result.rejected) == len(replicas)
@@ -173,7 +181,11 @@ class TestPlacementProperties:
         assert ffd.n_placed == naive.n_placed
 
     @settings(max_examples=100, deadline=None)
-    @given(replicas=replica_lists, host=host_specs, policy=st.sampled_from(["ffd", "best_fit", "spread"]))
+    @given(
+        replicas=replica_lists,
+        host=host_specs,
+        policy=st.sampled_from(["ffd", "best_fit", "spread"]),
+    )
     def test_volume_lower_bound_holds(self, replicas, host, policy):
         result = pack(replicas, host, policy=policy)
         if not result.rejected and replicas:
@@ -235,7 +247,9 @@ class TestScenario:
         phases = parse_phases("250x60,450x30")
         assert phases == (LoadPhase(60.0, 250.0), LoadPhase(30.0, 450.0))
 
-    @pytest.mark.parametrize("bad", ["", "250", "x60", "250x", "a x b", "250x60,,100x5", "0x60", "250x0"])
+    @pytest.mark.parametrize(
+        "bad", ["", "250", "x60", "250x", "a x b", "250x60,,100x5", "0x60", "250x0"]
+    )
     def test_parse_phases_rejects(self, bad):
         with pytest.raises(ClusterConfigError):
             parse_phases(bad)

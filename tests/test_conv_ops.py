@@ -89,7 +89,9 @@ class TestConv2d:
         x = Tensor(rng.standard_normal((2, 2, 5, 5)))
         w = Tensor(rng.standard_normal((3, 2, 3, 3)) * 0.3, requires_grad=True)
         b = Tensor(rng.standard_normal(3) * 0.1, requires_grad=True)
-        check_gradients(lambda: (conv2d(x, w, b, padding=1) ** 2).sum(), [w, b], rtol=2e-2, atol=2e-3)
+        check_gradients(
+            lambda: (conv2d(x, w, b, padding=1) ** 2).sum(), [w, b], rtol=2e-2, atol=2e-3
+        )
 
     def test_grad_input(self, rng):
         x = Tensor(rng.standard_normal((1, 2, 5, 5)), requires_grad=True)

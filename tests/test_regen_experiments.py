@@ -229,3 +229,61 @@ class TestSatelliteGenerators:
         committed = regen.EXPERIMENTS.read_text()
         for line in lines:
             assert line in committed
+
+
+KERNELS_ARTIFACT = {
+    "schema": 1,
+    "parity_all_ok": True,
+    "ops": {
+        "conv2d_forward": {"tag": "tolerance", "shape": "N32 C16 32x32",
+                           "numpy_ms": 24.0, "fast_ms": 10.0, "speedup": 2.4,
+                           "parity_ok": True, "max_abs_err": 0.0,
+                           "min_speedup": 1.5},
+        "relu": {"tag": "bit-exact", "shape": "2M elements",
+                 "numpy_ms": 2.2, "fast_ms": 0.9, "speedup": 2.444,
+                 "parity_ok": True, "max_abs_err": 0.0, "min_speedup": None},
+    },
+}
+
+
+class TestKernelSpeedups:
+    """The backend speedup table in docs/PERFORMANCE.md sources the
+    *committed* baseline, so --check never flaps on machine noise."""
+
+    def test_kernel_speedups_table(self, tmp_path):
+        src = tmp_path / "benchmarks" / "baselines"
+        src.mkdir(parents=True)
+        (src / "kernels_baseline.json").write_text(json.dumps(KERNELS_ARTIFACT))
+        doc = ("<!-- regen:kernel_speedups "
+               "source=benchmarks/baselines/kernels_baseline.json -->\n"
+               "old\n<!-- regen:end -->")
+        new, names = regen.regenerate(doc, tmp_path)
+        assert names == ["kernel_speedups"]
+        assert (
+            "| `conv2d_forward` | tolerance | N32 C16 32x32 | 24.00 | 10.00 | 2.40× | ≥1.5× |"
+            in new
+        )
+        assert "| `relu` | bit-exact | 2M elements | 2.20 | 0.90 | 2.44× | — |" in new
+
+    def test_repo_performance_md_is_current(self):
+        baseline = (Path(regen.REPO_ROOT) / "benchmarks" / "baselines"
+                    / "kernels_baseline.json")
+        lines = regen.gen_kernel_speedups(json.loads(baseline.read_text()))
+        committed = regen.PERFORMANCE.read_text()
+        for line in lines:
+            assert line in committed
+
+    def test_default_file_list_covers_both_docs(self):
+        assert regen.EXPERIMENTS.name == "EXPERIMENTS.md"
+        assert regen.PERFORMANCE == regen.REPO_ROOT / "docs" / "PERFORMANCE.md"
+
+    def test_multiple_files_worst_exit_code_wins(self, bench_dir, tmp_path, capsys):
+        fresh = tmp_path / "fresh.md"
+        fresh.write_text("# no markers\n")
+        stale = tmp_path / "stale.md"
+        stale.write_text(DOC)
+        rc = regen.main(["--check", "--file", str(fresh), "--file", str(stale),
+                         "--bench-dir", str(bench_dir)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "no markers" in out and "stale" in out
