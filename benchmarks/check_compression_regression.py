@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""CI regression gate for the compression bake-off benchmark.
+
+Compares a fresh ``BENCH_compression.json`` against the committed
+baseline (``benchmarks/baselines/compression_baseline.json``).  Three
+kinds of check:
+
+* **structure** — compressor names, parameter/payload/bucket counts,
+  shape-determined wire bytes (SGD, PowerSGD, AB-Training — pure
+  functions of parameter shapes and the protocol schedule), the
+  crossover winners, MAC counts, and the seeded fault-event census must
+  match exactly: any drift is a behavior change, not noise;
+* **modeled quantities** — mean wire bytes (variance gating's are
+  gradient-value dependent) and the α–β modeled comm seconds must stay
+  within the threshold (default 20%) of baseline;
+* **headline** — the claims EXPERIMENTS.md prints are re-asserted on the
+  *current* artifact: compressors actually compress relative to SGD, the
+  factorized model's payload is smaller than the full model's, and the
+  factorized variant wins at least one crossover cell.
+
+Usage::
+
+    python benchmarks/check_compression_regression.py \
+        [--current BENCH_compression.json] \
+        [--baseline benchmarks/baselines/compression_baseline.json] \
+        [--threshold 0.20]
+"""
+
+from __future__ import annotations
+
+from gatelib import BandFields, ExactFields, Gate, run_gate
+
+
+def invariants(name: str, cur: dict) -> list[str]:
+    failures: list[str] = []
+    if "compression_ratio" in cur and cur["compression_ratio"] <= 0:
+        failures.append(f"{name}.compression_ratio: {cur['compression_ratio']} <= 0")
+    if "wire_bytes_mean" in cur and cur["wire_bytes_mean"] <= 0:
+        failures.append(f"{name}.wire_bytes_mean: {cur['wire_bytes_mean']} <= 0")
+    if name == "crossover" and not cur.get("winners"):
+        failures.append("crossover.winners is empty")
+    if name.startswith("faults:") and cur.get("events", 0) <= 0:
+        failures.append(f"{name}: chaos run injected no events")
+    return failures
+
+
+def headline(current: dict) -> list[str]:
+    failures: list[str] = []
+    sc = current.get("scenarios", current)
+
+    def mean(key: str) -> float:
+        return sc[key]["wire_bytes_mean"]
+
+    try:
+        for comp in ("powersgd", "abtrain"):
+            if mean(f"train:vgg:{comp}") >= mean("train:vgg:sgd"):
+                failures.append(
+                    f"headline: {comp} wire bytes "
+                    f"({mean(f'train:vgg:{comp}'):.0f}B) not below SGD "
+                    f"({mean('train:vgg:sgd'):.0f}B)"
+                )
+        if (
+            sc["train:vgg:factorized"]["payload_bytes"]
+            >= sc["train:vgg:sgd"]["payload_bytes"]
+        ):
+            failures.append("headline: factorized payload not below full payload")
+        winners = set(sc["crossover"]["winners"].values())
+        if "factorized" not in winners:
+            failures.append(
+                f"headline: factorized wins no crossover cell (winners: {winners})"
+            )
+    except KeyError as e:
+        failures.append(f"headline: required scenario missing ({e})")
+    return failures
+
+
+GATE = Gate(
+    name="compression",
+    default_current="BENCH_compression.json",
+    default_baseline="benchmarks/baselines/compression_baseline.json",
+    default_threshold=0.20,
+    rules=(
+        ExactFields(
+            (
+                "compressor",
+                "n_params",
+                "payload_bytes",
+                "n_buckets",
+                "iterations",
+                "wire_bytes_per_iter",
+                "wire_bytes_per_step",
+                "winners",
+                "macs",
+                "flops_ref",
+                "events",
+                "by_kind",
+            ),
+            note="bake-off structure / shape-determined bytes changed",
+        ),
+        BandFields(("wire_bytes_mean",), note="wire bytes drifted", unit="B"),
+        BandFields(("comm_modeled_s",), note="modeled comm drifted"),
+    ),
+    invariants=invariants,
+    headline=headline,
+    description=__doc__.splitlines()[0],
+)
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_gate(GATE))

@@ -43,7 +43,10 @@ __all__ = ["main", "build_parser"]
 MODELS = ("mlp", "vgg11", "vgg19", "resnet18", "resnet50", "wideresnet50")
 # The serving registry also covers the sequence zoo (non-image InputSpecs).
 SERVE_MODELS = MODELS + ("lstm", "transformer")
-COMPRESSORS = ("none", "powersgd", "signum", "qsgd", "topk", "binary", "atomo")
+COMPRESSORS = (
+    "none", "powersgd", "signum", "qsgd", "topk", "binary", "atomo",
+    "abtrain", "vargate",
+)
 
 
 def _make_model(name: str, num_classes: int, width: float):
@@ -60,19 +63,42 @@ def _hybrid_config(name: str, model, rank_ratio: float):
     return hybrid_config_for(name, model, rank_ratio)
 
 
-def _make_compressor(name: str, num_workers: int):
-    from . import compression as C
+# CLI defaults per compressor; construction goes through the registry so
+# the CLI, benchmarks and property suite share one source of truth.
+_COMPRESSOR_DEFAULTS = {
+    "powersgd": {"rank": 2},
+    "qsgd": {"levels": 16},
+    "topk": {"ratio": 0.01},
+    "atomo": {"budget": 2},
+    "abtrain": {"rank": 4, "resync_every": 10},
+    "vargate": {"threshold": 4.0},
+}
 
-    table = {
-        "none": lambda: C.NoCompression(num_workers),
-        "powersgd": lambda: C.PowerSGD(num_workers, rank=2),
-        "signum": lambda: C.Signum(num_workers),
-        "qsgd": lambda: C.QSGD(num_workers, levels=16),
-        "topk": lambda: C.TopK(num_workers, ratio=0.01),
-        "binary": lambda: C.StochasticBinary(num_workers),
-        "atomo": lambda: C.Atomo(num_workers, budget=2),
-    }
-    return table[name]()
+
+def _compressor_name(cli_name: str) -> str:
+    """CLI spelling → registry wire name."""
+    return "sgd" if cli_name == "none" else cli_name
+
+
+def _make_compressor(name: str, num_workers: int):
+    from .compression import make_compressor
+
+    wire = _compressor_name(name)
+    return make_compressor(wire, num_workers, **_COMPRESSOR_DEFAULTS.get(wire, {}))
+
+
+def _overlap_compatible(cli_name: str) -> bool:
+    from .compression import registered_compressors
+
+    return registered_compressors()[_compressor_name(cli_name)].allreduce_compatible
+
+
+_OVERLAP_REJECTION = (
+    "--overlap requires an allreduce-compatible compressor (none, powersgd, "
+    "abtrain, vargate): sum-incompatible encodings allgather the whole "
+    "gradient at once, so their communication cannot overlap the backward "
+    "pass"
+)
 
 
 # ---------------------------------------------------------------------------
@@ -171,18 +197,17 @@ def cmd_simulate(args) -> int:
         CollectiveTimeoutError,
         DistributedTrainer,
         FaultSpecError,
+        HierarchicalSpec,
         parse_fault_spec,
     )
     from .optim import SGD, FusedSGD
     from .utils import set_seed
 
-    if args.overlap and args.compressor != "none":
-        print(
-            "--overlap requires --compressor none: explicit compressors "
-            "must wait for the full gradient before encoding, so their "
-            "communication cannot overlap the backward pass",
-            file=sys.stderr,
-        )
+    if args.overlap and not _overlap_compatible(args.compressor):
+        print(_OVERLAP_REJECTION, file=sys.stderr)
+        return 2
+    if args.gpus_per_node < 1:
+        print("--gpus-per-node must be >= 1", file=sys.stderr)
         return 2
     faults = None
     if args.faults:
@@ -199,19 +224,28 @@ def cmd_simulate(args) -> int:
         model, report = build_hybrid(model, _hybrid_config(args.model, model, args.rank_ratio))
         print(f"pufferfish model: {report.compression:.2f}x smaller")
 
-    n = args.nodes * args.batch_size * args.iterations
+    if args.gpus_per_node > 1:
+        cluster = HierarchicalSpec(
+            args.nodes,
+            gpus_per_node=args.gpus_per_node,
+            inter_bandwidth_gbps=args.bandwidth,
+            intra_bandwidth_gbps=args.intra_bandwidth,
+        )
+    else:
+        cluster = ClusterSpec(args.nodes, bandwidth_gbps=args.bandwidth)
+    world = cluster.world_size
+    n = world * args.batch_size * args.iterations
     ds = make_cifar_like(n=n, num_classes=args.classes, noise=args.noise, rng=rng)
-    shards = shard_dataset(ds.images, ds.labels, args.nodes)
+    shards = shard_dataset(ds.images, ds.labels, world)
     loaders = [DataLoader(x, y, args.batch_size) for x, y in shards]
 
-    cluster = ClusterSpec(args.nodes, bandwidth_gbps=args.bandwidth)
     # FusedSGD is bit-exact vs the per-tensor loop here (every parameter
     # receives an averaged gradient), so the fast path is the default.
     opt_cls = FusedSGD if args.fused else SGD
     opt = opt_cls(model.parameters(), lr=args.lr, momentum=0.9)
     trainer = DistributedTrainer(
         model, opt, cluster,
-        compressor=_make_compressor(args.compressor, args.nodes),
+        compressor=_make_compressor(args.compressor, world),
         faults=faults,
         overlap=args.overlap,
         bucket_mb=args.bucket_mb,
@@ -221,8 +255,13 @@ def cmd_simulate(args) -> int:
     except CollectiveTimeoutError as e:
         print(f"simulation aborted: {e}")
         return 1
-    print(f"\ncluster: {args.nodes} nodes @ {args.bandwidth} Gbps "
-          f"| compressor: {args.compressor}")
+    if args.gpus_per_node > 1:
+        print(f"\ncluster: {args.nodes} nodes x {args.gpus_per_node} gpus "
+              f"@ {args.bandwidth} Gbps inter / {args.intra_bandwidth} Gbps intra "
+              f"| compressor: {args.compressor}")
+    else:
+        print(f"\ncluster: {args.nodes} nodes @ {args.bandwidth} Gbps "
+              f"| compressor: {args.compressor}")
     print(f"compute {tl.compute:.3f}s | encode {tl.encode:.3f}s | "
           f"comm {tl.comm:.3f}s | decode {tl.decode:.3f}s | total {tl.total:.3f}s")
     print(f"wire bytes per iteration: {tl.bytes_per_iteration/1e6:.2f} MB")
@@ -644,13 +683,12 @@ def _profile_simulate(args):
 def cmd_profile(args) -> int:
     from . import observability as obs
 
-    if args.target == "simulate" and args.overlap and args.compressor != "none":
-        print(
-            "--overlap requires --compressor none: explicit compressors "
-            "must wait for the full gradient before encoding, so their "
-            "communication cannot overlap the backward pass",
-            file=sys.stderr,
-        )
+    if (
+        args.target == "simulate"
+        and args.overlap
+        and not _overlap_compatible(args.compressor)
+    ):
+        print(_OVERLAP_REJECTION, file=sys.stderr)
         return 2
     tracer = obs.get_tracer()
     registry = obs.get_registry()
@@ -747,7 +785,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--noise", type=float, default=0.2)
     p_sim.add_argument("--overlap", action="store_true",
                        help="bucketed allreduce overlapped with backward "
-                            "(requires --compressor none)")
+                            "(requires an allreduce-compatible compressor: "
+                            "none, powersgd, abtrain, vargate)")
+    p_sim.add_argument("--gpus-per-node", type=int, default=1,
+                       help="ranks per node; >1 switches to the two-level "
+                            "hierarchical topology (intra-node fast ring + "
+                            "inter-node slow ring)")
+    p_sim.add_argument("--intra-bandwidth", type=float, default=100.0,
+                       help="intra-node Gbps (hierarchical topology only)")
     p_sim.add_argument("--bucket-mb", type=float, default=25.0,
                        help="gradient bucket size cap in MB (DDP default 25)")
     p_sim.add_argument("--fused", action=argparse.BooleanOptionalAction, default=True,
@@ -782,7 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--iterations", type=int, default=2, help="simulate: iterations")
     p_prof.add_argument("--overlap", action="store_true",
                         help="simulate: bucketed comm/compute overlap "
-                             "(requires --compressor none)")
+                             "(requires an allreduce-compatible compressor)")
     p_prof.add_argument("--bucket-mb", type=float, default=25.0,
                         help="simulate: gradient bucket size cap in MB")
     p_prof.set_defaults(func=cmd_profile)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..utils import spawn_rng
-from .base import FLOAT32_BYTES, Compressor, EncodeResult
+from .base import FLOAT32_BYTES, Compressor, EncodeResult, register_compressor
 
 __all__ = ["Atomo", "atomo_probabilities"]
 
@@ -55,6 +55,7 @@ def atomo_probabilities(sigma: np.ndarray, budget: float) -> np.ndarray:
     return np.clip(p, 0.0, 1.0)
 
 
+@register_compressor
 class Atomo(Compressor):
     """Spectral ATOMO with per-batch SVD.
 
@@ -66,6 +67,9 @@ class Atomo(Compressor):
 
     allreduce_compatible = False  # sampled atom sets differ per worker
     name = "atomo"
+    # Kept atoms are rescaled by 1/p, so the estimate is unbiased.
+    agg_contract = "unbiased"
+    agg_tolerance = 0.25
 
     def __init__(self, num_workers: int, budget: int = 3):
         super().__init__(num_workers)
@@ -74,7 +78,9 @@ class Atomo(Compressor):
         self.budget = budget
         self._rng = spawn_rng()
 
-    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+    def encode(
+        self, worker: int, grads: list[np.ndarray], layer_offset: int = 0
+    ) -> EncodeResult:
         payloads = []
         nbytes = 0
         for g in grads:

@@ -8,6 +8,24 @@ worker payloads back into one aggregated (averaged) gradient.
 sum-compatible encodings ride the ring allreduce; everything else falls
 back to allgather, whose cost grows linearly in the node count — the
 effect behind Fig. 4's Signum communication bars and Appendix F.
+
+The contract (enforced by ``tests/test_compression_properties.py`` for
+every registered compressor, and documented in docs/COMPRESSION.md):
+
+* ``encode(worker, grads, layer_offset=k)`` must treat layer ``i`` of the
+  sub-list as global layer ``k + i``, so per-bucket encoding of a tiled
+  gradient is indistinguishable from whole-gradient encoding.  For
+  allreduce-compatible compressors this is a hard requirement — the
+  overlap path encodes bucket by bucket as gradients arrive.
+* ``EncodeResult.nbytes`` is the *claimed* wire size; it must be at least
+  :meth:`Compressor.min_payload_nbytes`, the byte count of the
+  wire-essential data actually present in the payload.
+* ``agg_contract`` + ``agg_tolerance`` publish what ``decode_aggregate``
+  guarantees relative to the exact gradient mean (see class docstring).
+* Stateful compressors expose residual magnitude via :meth:`error_norm`
+  and advance protocol state (step counters, gates) only in
+  :meth:`advance_step`, never inside ``decode_aggregate`` — decode may be
+  called many times per step (once per bucket).
 """
 
 from __future__ import annotations
@@ -16,7 +34,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Compressor", "EncodeResult", "NoCompression"]
+__all__ = [
+    "Compressor",
+    "EncodeResult",
+    "NoCompression",
+    "register_compressor",
+    "registered_compressors",
+    "make_compressor",
+]
 
 FLOAT32_BYTES = 4
 
@@ -29,33 +54,139 @@ class EncodeResult:
     nbytes: int
 
 
+def _payload_nbytes(obj) -> int:
+    """Bytes of every ndarray reachable in a payload (the default honest
+    lower bound for the wire size)."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_nbytes(v) for v in obj)
+    return 0
+
+
 class Compressor:
     """Base class.  Subclasses may keep per-worker state (momentum, error
     feedback); ``num_workers`` is fixed at construction so state arrays can
-    be indexed by worker id."""
+    be indexed by worker id.
+
+    Aggregation contract (published, property-tested):
+
+    * ``agg_contract`` names the regime in which ``decode_aggregate`` is
+      checked against the exact mean, within relative ``agg_tolerance``:
+
+      - ``"exact"`` — any input;
+      - ``"low_rank"`` — inputs whose matrix gradients have rank ≤ the
+        compressor's rank (PowerSGD/AB-Training after a sync step);
+      - ``"dense"`` — the compressor configured to keep everything
+        (Top-k with ratio=1, variance gating with an infinite threshold);
+      - ``"unbiased"`` — only ``E[decode] = mean`` holds; checked by
+        averaging repeated stochastic encodings;
+      - ``"sign"`` — only the coordinate signs of the mean are recovered
+        (Signum's majority vote).
+    """
 
     #: True if payloads can be summed by a ring allreduce.
     allreduce_compatible: bool = True
     name: str = "base"
+    #: Aggregation guarantee: exact | low_rank | dense | unbiased | sign.
+    agg_contract: str = "exact"
+    #: Relative L2 tolerance for the contract above (where applicable).
+    agg_tolerance: float = 1e-5
 
     def __init__(self, num_workers: int):
         self.num_workers = num_workers
 
-    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+    def encode(
+        self, worker: int, grads: list[np.ndarray], layer_offset: int = 0
+    ) -> EncodeResult:
+        """Encode one worker's (possibly tiled) gradient list.
+
+        ``layer_offset`` is the global index of ``grads[0]`` — stateful
+        compressors must key warm starts / residuals on
+        ``layer_offset + i`` so bucket tiling commutes with encoding.
+        """
         raise NotImplementedError
 
     def decode_aggregate(self, results: list[EncodeResult]) -> list[np.ndarray]:
         """Average of all workers' gradients, reconstructed from payloads."""
         raise NotImplementedError
 
+    def advance_step(self) -> None:
+        """Advance protocol state by one optimizer step.
 
+        Called exactly once per training iteration by the simulator (after
+        all buckets of the step are decoded).  Stateless compressors
+        ignore it; protocol compressors (AB-Training's A/B alternation,
+        variance gating's deferral counters) move their schedule here so
+        per-bucket decode calls within one step see frozen state.
+        """
+
+    def error_norm(self, worker: int) -> float:
+        """L2 norm of this worker's error-feedback residual (0 if none).
+
+        Public so the property suite can assert residuals stay bounded
+        without reaching into private state.
+        """
+        return 0.0
+
+    def min_payload_nbytes(self, result: EncodeResult) -> int:
+        """Lower bound on the wire size of ``result``'s payload.
+
+        Default: total bytes of every ndarray in the payload.  Compressors
+        whose payload carries decode-side state that never hits the wire
+        (PowerSGD's full matrices) or whose wire format is tighter than
+        the in-memory arrays (QSGD's bit-packing) override this.
+        """
+        return _payload_nbytes(result.payload)
+
+
+# ---------------------------------------------------------------------------
+# Registry: every concrete compressor registers under its wire name so the
+# CLI, the benchmarks and the property suite enumerate one source of truth.
+
+_REGISTRY: dict[str, type[Compressor]] = {}
+
+
+def register_compressor(cls: type[Compressor]) -> type[Compressor]:
+    """Class decorator: register ``cls`` under ``cls.name``."""
+    if not cls.name or cls.name == "base":
+        raise ValueError("registered compressors need a unique name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"compressor name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_compressors() -> dict[str, type[Compressor]]:
+    """Name → class for every registered compressor (copy)."""
+    return dict(_REGISTRY)
+
+
+def make_compressor(name: str, num_workers: int, **kwargs) -> Compressor:
+    """Instantiate a registered compressor by wire name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown compressor {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(num_workers, **kwargs)
+
+
+@register_compressor
 class NoCompression(Compressor):
     """Vanilla SGD baseline: raw fp32 gradients over allreduce."""
 
     allreduce_compatible = True
     name = "sgd"
+    agg_contract = "exact"
+    agg_tolerance = 1e-6
 
-    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+    def encode(
+        self, worker: int, grads: list[np.ndarray], layer_offset: int = 0
+    ) -> EncodeResult:
         nbytes = sum(g.size for g in grads) * FLOAT32_BYTES
         return EncodeResult(payload=[g.copy() for g in grads], nbytes=nbytes)
 

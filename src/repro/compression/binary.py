@@ -14,20 +14,26 @@ from __future__ import annotations
 import numpy as np
 
 from ..utils import spawn_rng
-from .base import FLOAT32_BYTES, Compressor, EncodeResult
+from .base import FLOAT32_BYTES, Compressor, EncodeResult, register_compressor
 
 __all__ = ["StochasticBinary"]
 
 
+@register_compressor
 class StochasticBinary(Compressor):
     allreduce_compatible = False
     name = "binary"
+    # One-bit quantization is unbiased per coordinate.
+    agg_contract = "unbiased"
+    agg_tolerance = 0.25
 
     def __init__(self, num_workers: int):
         super().__init__(num_workers)
         self._rng = spawn_rng()
 
-    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+    def encode(
+        self, worker: int, grads: list[np.ndarray], layer_offset: int = 0
+    ) -> EncodeResult:
         payloads = []
         nbytes = 0
         for g in grads:

@@ -7,14 +7,26 @@ sum-compatible, so PowerSGD — unlike sign/top-k schemes — rides the ring
 allreduce, which is why it is the strongest compression baseline in the
 paper.  Rank-1 tensors (biases, BN parameters) are sent uncompressed, as
 in the reference implementation.
+
+Determinism: the warm-start Q for global layer ``i`` with ``m`` columns is
+drawn from ``default_rng([seed, i, m])`` — a pure function of the
+construction-time ``seed`` and the layer's identity, independent of the
+order layers are first encoded in.  Two instances built with the same
+seed therefore reproduce each other exactly, and per-bucket encoding
+(which visits layers in bucket order, not forward order) is bit-identical
+to whole-gradient encoding.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..utils import spawn_rng
-from .base import FLOAT32_BYTES, Compressor, EncodeResult
+from .base import (
+    FLOAT32_BYTES,
+    Compressor,
+    EncodeResult,
+    register_compressor,
+)
 
 __all__ = ["PowerSGD"]
 
@@ -30,6 +42,7 @@ def _as_matrix(g: np.ndarray) -> np.ndarray:
     return g.reshape(g.shape[0], -1)
 
 
+@register_compressor
 class PowerSGD(Compressor):
     """Parameters
     ----------
@@ -38,56 +51,77 @@ class PowerSGD(Compressor):
         Pufferfish warm-up).
     error_feedback: accumulate the compression residual per worker and add
         it back the next step (on by default, as in the paper).
+    seed: seeds the synchronized-random Q initialization.  Instances built
+        with equal seeds produce identical encodings regardless of how
+        many other compressors (or RNG consumers) exist in the process.
     """
 
     allreduce_compatible = True
     name = "powersgd"
+    # Exact on matrices of rank ≤ ``rank`` once Q spans the column space —
+    # a single power iteration from random init already does for such
+    # inputs (up to fp32 rounding).
+    agg_contract = "low_rank"
+    agg_tolerance = 1e-4
 
-    def __init__(self, num_workers: int, rank: int = 2, error_feedback: bool = True):
+    def __init__(
+        self,
+        num_workers: int,
+        rank: int = 2,
+        error_feedback: bool = True,
+        seed: int = 0,
+    ):
         super().__init__(num_workers)
         self.rank = rank
         self.error_feedback = error_feedback
-        self._rng = spawn_rng()
+        self.seed = int(seed)
         # Per-layer warm-start Q (shared across workers, as in the paper's
-        # synchronized-random-init scheme) and per-worker error memory.
+        # synchronized-random-init scheme) and per-worker error memory,
+        # both keyed by *global* layer index.
         self._qs: dict[int, np.ndarray] = {}
         self._errors: dict[tuple[int, int], np.ndarray] = {}
 
     def _q_for(self, layer: int, m_cols: int) -> np.ndarray:
         q = self._qs.get(layer)
         if q is None or q.shape[0] != m_cols:
-            q = self._rng.standard_normal((m_cols, self.rank)).astype(np.float32)
+            rng = np.random.default_rng([self.seed, layer, m_cols])
+            q = rng.standard_normal((m_cols, self.rank)).astype(np.float32)
             self._qs[layer] = q
         return q
 
-    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+    def encode(
+        self, worker: int, grads: list[np.ndarray], layer_offset: int = 0
+    ) -> EncodeResult:
         ps: dict[int, np.ndarray] = {}
         matrices: dict[int, np.ndarray] = {}
         raw: dict[int, np.ndarray] = {}
         shapes = [g.shape for g in grads]
         nbytes = 0
         for i, g in enumerate(grads):
+            layer = layer_offset + i
             if g.ndim < 2:
                 raw[i] = g.copy()
                 nbytes += g.size * FLOAT32_BYTES
                 continue
             m = _as_matrix(g).astype(np.float32)
             if self.error_feedback:
-                err = self._errors.get((worker, i))
+                err = self._errors.get((worker, layer))
                 if err is not None:
                     m = m + err
-            q = self._q_for(i, m.shape[1])
+            q = self._q_for(layer, m.shape[1])
             rank = min(self.rank, *m.shape)
             p = m @ q[:, :rank]  # (n, r)
             ps[i] = p
             matrices[i] = m
             # Both power-iteration rounds hit the wire: P then Q.
             nbytes += (p.size + m.shape[1] * rank) * FLOAT32_BYTES
-        return EncodeResult(payload=(ps, matrices, raw, worker, shapes), nbytes=nbytes)
+        return EncodeResult(
+            payload=(ps, matrices, raw, worker, shapes, layer_offset), nbytes=nbytes
+        )
 
     def decode_aggregate(self, results: list[EncodeResult]) -> list[np.ndarray]:
         n_workers = len(results)
-        first_ps, first_ms, first_raw, _, shapes = results[0].payload
+        first_ps, first_ms, first_raw, _, shapes, layer_offset = results[0].payload
         out: list[np.ndarray | None] = [None] * len(shapes)
 
         # Rank-1 tensors: plain averaging.
@@ -100,6 +134,7 @@ class PowerSGD(Compressor):
         # Matrices: allreduce P -> orthogonalize -> Q = M^T P (allreduced)
         # -> M_hat = P Q^T; error feedback updated per worker.
         for i in first_ps:
+            layer = layer_offset + i
             p_mean = np.mean([res.payload[0][i] for res in results], axis=0)
             p_hat = _orthogonalize(p_mean)
             q_acc = np.zeros((first_ms[i].shape[1], p_hat.shape[1]), dtype=np.float64)
@@ -107,13 +142,34 @@ class PowerSGD(Compressor):
                 q_acc += res.payload[1][i].T @ p_hat
             q_new = (q_acc / n_workers).astype(np.float32)
             # Warm-start next round's Q.
-            full_q = self._qs.get(i)
+            full_q = self._qs.get(layer)
             if full_q is not None and full_q.shape == q_new.shape:
-                self._qs[i] = q_new
+                self._qs[layer] = q_new
             m_hat = p_hat @ q_new.T
             if self.error_feedback:
                 for res in results:
                     worker = res.payload[3]
-                    self._errors[(worker, i)] = res.payload[1][i] - m_hat
+                    self._errors[(worker, layer)] = res.payload[1][i] - m_hat
             out[i] = m_hat.reshape(shapes[i])
         return out
+
+    def error_norm(self, worker: int) -> float:
+        return float(
+            np.sqrt(
+                sum(
+                    float(np.sum(e.astype(np.float64) ** 2))
+                    for (w, _), e in self._errors.items()
+                    if w == worker
+                )
+            )
+        )
+
+    def min_payload_nbytes(self, result: EncodeResult) -> int:
+        # Wire-essential data is P per matrix plus the Q round (m·r fp32)
+        # plus raw rank-1 tensors; the full matrices riding in the payload
+        # are decode-side state for error feedback, never serialized.
+        ps, matrices, raw, _, _, _ = result.payload
+        total = sum(r.nbytes for r in raw.values())
+        for i, p in ps.items():
+            total += p.nbytes + matrices[i].shape[1] * p.shape[1] * FLOAT32_BYTES
+        return total

@@ -15,14 +15,18 @@ import math
 import numpy as np
 
 from ..utils import spawn_rng
-from .base import FLOAT32_BYTES, Compressor, EncodeResult
+from .base import FLOAT32_BYTES, Compressor, EncodeResult, register_compressor
 
 __all__ = ["QSGD"]
 
 
+@register_compressor
 class QSGD(Compressor):
     allreduce_compatible = False
     name = "qsgd"
+    # Stochastic rounding is unbiased: E[decode] equals the mean.
+    agg_contract = "unbiased"
+    agg_tolerance = 0.25
 
     def __init__(self, num_workers: int, levels: int = 16):
         super().__init__(num_workers)
@@ -32,7 +36,9 @@ class QSGD(Compressor):
         self.bits = max(1, math.ceil(math.log2(levels + 1))) + 1  # + sign bit
         self._rng = spawn_rng()
 
-    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+    def encode(
+        self, worker: int, grads: list[np.ndarray], layer_offset: int = 0
+    ) -> EncodeResult:
         payloads = []
         nbytes = 0
         for g in grads:
@@ -63,3 +69,11 @@ class QSGD(Compressor):
                 acc += q.astype(np.float64) * (norm / self.levels)
             out.append((acc / n_workers).astype(np.float32).reshape(shape))
         return out
+
+    def min_payload_nbytes(self, result: EncodeResult) -> int:
+        # The wire format bit-packs to ``bits`` per coordinate; the int8
+        # staging array in the payload is wider than the claimed size, so
+        # the honest lower bound is the packed size, not the array bytes.
+        return sum(
+            FLOAT32_BYTES + q.size * self.bits // 8 for _, q, _ in result.payload
+        )

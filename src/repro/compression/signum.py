@@ -12,26 +12,33 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Compressor, EncodeResult
+from .base import Compressor, EncodeResult, register_compressor
 
 __all__ = ["Signum"]
 
 
+@register_compressor
 class Signum(Compressor):
     allreduce_compatible = False
     name = "signum"
+    # Majority vote recovers only the coordinate signs of the mean
+    # momentum; the property suite checks sign agreement, not values.
+    agg_contract = "sign"
+    agg_tolerance = 0.0
 
     def __init__(self, num_workers: int, momentum: float = 0.9):
         super().__init__(num_workers)
         self.momentum = momentum
         self._momenta: dict[tuple[int, int], np.ndarray] = {}
 
-    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+    def encode(
+        self, worker: int, grads: list[np.ndarray], layer_offset: int = 0
+    ) -> EncodeResult:
         signs = []
         shapes = []
         nbytes = 0
         for i, g in enumerate(grads):
-            key = (worker, i)
+            key = (worker, layer_offset + i)
             buf = self._momenta.get(key)
             if buf is None:
                 buf = np.zeros_like(g, dtype=np.float32)

@@ -15,16 +15,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import FLOAT32_BYTES, Compressor, EncodeResult
+from .base import FLOAT32_BYTES, Compressor, EncodeResult, register_compressor
 
 __all__ = ["TopK"]
 
 INT32_BYTES = 4
 
 
+@register_compressor
 class TopK(Compressor):
     allreduce_compatible = False
     name = "topk"
+    # Exact mean when nothing is dropped (ratio=1, empty residuals).
+    agg_contract = "dense"
+    agg_tolerance = 1e-6
 
     def __init__(self, num_workers: int, ratio: float = 0.01, error_feedback: bool = True):
         super().__init__(num_workers)
@@ -34,7 +38,9 @@ class TopK(Compressor):
         self.error_feedback = error_feedback
         self._errors: dict[int, np.ndarray] = {}
 
-    def encode(self, worker: int, grads: list[np.ndarray]) -> EncodeResult:
+    def encode(
+        self, worker: int, grads: list[np.ndarray], layer_offset: int = 0
+    ) -> EncodeResult:
         # Operates on the flat buffer (appendix E's preferred composition).
         flat = np.concatenate([g.reshape(-1) for g in grads]).astype(np.float32)
         shapes = [g.shape for g in grads]
@@ -68,3 +74,9 @@ class TopK(Compressor):
             out.append(acc[offset : offset + n].astype(np.float32).reshape(shape))
             offset += n
         return out
+
+    def error_norm(self, worker: int) -> float:
+        err = self._errors.get(worker)
+        if err is None:
+            return 0.0
+        return float(np.linalg.norm(err.astype(np.float64)))

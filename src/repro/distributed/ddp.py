@@ -34,10 +34,11 @@ from ..optim import Optimizer
 from .collectives import allreduce_mean, gradient_vector
 from .cost_model import (
     ClusterSpec,
-    allgather_time,
-    broadcast_time,
+    allgather_cost,
+    allreduce_cost,
+    broadcast_cost,
     bucket_comm_times,
-    pipelined_broadcast_time,
+    pipelined_broadcast_cost,
     ring_allreduce_time,
 )
 from .errors import AllWorkersLostError
@@ -100,7 +101,11 @@ class DistributedTrainer:
     ----------
     model, optimizer: single authoritative replica (workers share weights —
         exact for synchronous SGD).
-    cluster: node count and link parameters.
+    cluster: node count and link parameters — a flat
+        :class:`~repro.distributed.cost_model.ClusterSpec` ring or a
+        two-level :class:`~repro.distributed.cost_model.HierarchicalSpec`
+        (intra-node fast ring + inter-node slow ring); every collective
+        charge dispatches on the topology.
     compressor: gradient compressor; default = raw fp32 (vanilla SGD).
     batch_fn: ``(model, batch) -> (loss, metric_sum, count)`` as in
         :class:`repro.core.Trainer`.
@@ -114,10 +119,14 @@ class DistributedTrainer:
         timing untouched.
     overlap: PyTorch-DDP-style wait-free backprop — size-capped gradient
         buckets allreduce while the backward pass still runs, using each
-        parameter's *measured* gradient-arrival time.  Requires the
-        uncompressed gradient path (explicit compressors must wait for
-        the whole gradient before encoding, forfeiting the overlap — the
-        paper's Section 2/6 argument).  Numerics are bit-identical to the
+        parameter's *measured* gradient-arrival time.  Allreduce-compatible
+        compressors participate per bucket: each bucket is encoded as soon
+        as its gradients arrive, its encode seconds delay that bucket on
+        the wire schedule, and the compressed (not raw) bytes are charged
+        — the paper's Section 2/6 trade-off made measurable.  Compressors
+        whose payloads cannot be summed on a ring (Signum, Top-k, …) must
+        wait for the whole gradient and are still rejected.  With the
+        default uncompressed path, numerics are bit-identical to the
         monolithic path; only the modeled comm charge changes.
     bucket_mb: bucket size cap in MB (torch DDP's ``bucket_cap_mb``,
         default 25).
@@ -150,12 +159,12 @@ class DistributedTrainer:
         self.flat_allreduce = flat_allreduce
         self.overlap = bool(overlap)
         self.bucket_bytes = float(bucket_mb) * 1e6
-        if self.overlap and not isinstance(self.compressor, NoCompression):
+        if self.overlap and not self.compressor.allreduce_compatible:
             raise ValueError(
-                "overlap=True requires the uncompressed gradient path: "
-                "explicit compressors must wait for the full gradient "
-                "before encoding, so their communication cannot overlap "
-                "the backward pass"
+                "overlap=True requires an allreduce-compatible compressor: "
+                "payloads that cannot be summed on a ring (sign/top-k/"
+                "sampled encodings) allgather the whole gradient at once, "
+                "so their communication cannot overlap the backward pass"
             )
         # Buckets are built lazily from the optimizer's parameter list
         # (reverse layer order, contiguous slices of the flat vector).
@@ -165,7 +174,7 @@ class DistributedTrainer:
         self.faults = as_injector(faults)
         # Workers currently in the ring (shrink-mode failures leave
         # permanently; rejoin-mode failures miss one iteration).
-        self._active: list[int] = list(range(cluster.num_nodes))
+        self._active: list[int] = list(range(cluster.world_size))
         self._rejoining: list[int] = []
         self._global_iteration = 0
 
@@ -180,19 +189,19 @@ class DistributedTrainer:
     ) -> float:
         """Wire time for one worker's payload of ``nbytes``."""
         cluster = self.cluster
-        if world is not None and world != cluster.num_nodes:
-            cluster = ClusterSpec(world, cluster.bandwidth_gbps, cluster.latency_s)
+        if world is not None and world != cluster.world_size:
+            cluster = cluster.with_world(world)
         if self.compressor.allreduce_compatible:
             if _metrics.COLLECT:
                 _metrics.REGISTRY.counter("allreduce_calls").inc(n_messages)
             per_message = nbytes / max(n_messages, 1)
             return sum(
-                ring_allreduce_time(per_message, cluster, degradation)
+                allreduce_cost(per_message, cluster, degradation)
                 for _ in range(n_messages)
             )
         if _metrics.COLLECT:
             _metrics.REGISTRY.counter("allgather_calls").inc()
-        return allgather_time(nbytes, cluster, degradation)
+        return allgather_cost(nbytes, cluster, degradation)
 
     def _model_bytes(self) -> float:
         return sum(p.data.size for p in self.optimizer.params) * FLOAT32_BYTES
@@ -216,11 +225,11 @@ class DistributedTrainer:
                 # tiles down the broadcast tree, instead of paying the
                 # monolithic store-and-forward cost at every tree level.
                 if self.overlap:
-                    wire = pipelined_broadcast_time(
+                    wire = pipelined_broadcast_cost(
                         [b.nbytes for b in self._ensure_buckets()], self.cluster
                     )
                 else:
-                    wire = broadcast_time(self._model_bytes(), self.cluster)
+                    wire = broadcast_cost(self._model_bytes(), self.cluster)
                 recovery = spec.recovery_s + wire
                 timeline.other += recovery
                 injector.record_recovery(iteration, w, recovery)
@@ -288,8 +297,8 @@ class DistributedTrainer:
         # --- modeled bucket schedule --------------------------------------
         degradation = injector.link_factor(iteration) if injector is not None else 1.0
         cluster = self.cluster
-        if world != cluster.num_nodes:
-            cluster = ClusterSpec(world, cluster.bandwidth_gbps, cluster.latency_s)
+        if world != cluster.world_size:
+            cluster = cluster.with_world(world)
         comm_times = bucket_comm_times(
             [b.nbytes for b in buckets], cluster, degradation
         )
@@ -354,14 +363,174 @@ class DistributedTrainer:
             else:
                 self.optimizer.step()
 
+    def _compressed_overlap_iteration(
+        self, batches, active, iteration: int, timeline: TimelineBreakdown
+    ) -> None:
+        """One iteration with per-bucket compression inside the overlap.
+
+        Each bucket is encoded as soon as its gradients arrive (the encode
+        seconds delay that bucket's wire readiness in the schedule), the
+        *compressed* bytes are charged to the α–β model, and each bucket
+        is decoded independently — sound because allreduce-compatible
+        compressors commute with bucket tiling (the property suite pins
+        this).  Fault-RNG parity with the monolithic and uncompressed
+        overlap paths is preserved: identical draws with identical keys,
+        so a fixed seed yields one fault timeline regardless of
+        compression.
+
+        Clock accounting: the schedule's exposure past ``backward_end``
+        splits into wire-busy seconds (charged to ``comm``) and
+        encode-stall seconds where the channel sat idle waiting for a
+        bucket to finish encoding (charged to ``encode``) — so
+        ``compute + encode + comm`` still reads as the modeled iteration
+        critical path.
+        """
+        params = self.optimizer.params
+        injector = self.faults
+        buckets = self._ensure_buckets()
+        world = len(active)
+
+        # --- compute phase: measured backward + per-bucket readiness ---
+        worker_grads: list[list[np.ndarray]] = []
+        worker_compute: list[float] = []
+        worker_ready: list[list[float]] = []
+        with _trace.span("ddp.compute", iteration=timeline.iterations):
+            for w in active:
+                self.optimizer.zero_grad()
+                with GradientArrivalRecorder(params) as rec:
+                    loss, _, _ = self.batch_fn(self.model, batches[w])
+                    loss.backward()
+                mult = 1.0
+                if injector is not None:
+                    mult = injector.compute_multiplier(iteration, w)
+                worker_compute.append(rec.total * mult)
+                arrivals = rec.arrival_times()
+                worker_ready.append(
+                    [
+                        max(arrivals[i] for i in b.param_indices) * mult
+                        for b in buckets
+                    ]
+                )
+                worker_grads.append(
+                    [
+                        (p.grad if p.grad is not None else np.zeros_like(p.data)).copy()
+                        for p in params
+                    ]
+                )
+        backward_end = max(worker_compute)
+        timeline.compute += backward_end
+
+        # --- per-bucket encode (workers run in parallel: each bucket's
+        # wire readiness waits for its slowest worker's encoder) ---------
+        encoded: list[list] = []
+        encode_times: list[float] = []
+        with _trace.span("ddp.encode", iteration=timeline.iterations):
+            for b in buckets:
+                per_worker = []
+                per_worker_s = []
+                for pos, w in enumerate(active):
+                    sub = [worker_grads[pos][i] for i in b.param_indices]
+                    t0 = time.perf_counter()
+                    per_worker.append(
+                        self.compressor.encode(
+                            w, sub, layer_offset=b.param_indices[0]
+                        )
+                    )
+                    per_worker_s.append(time.perf_counter() - t0)
+                encoded.append(per_worker)
+                encode_times.append(max(per_worker_s))
+
+        # --- modeled bucket schedule over the compressed bytes -----------
+        degradation = injector.link_factor(iteration) if injector is not None else 1.0
+        cluster = self.cluster
+        if world != cluster.world_size:
+            cluster = cluster.with_world(world)
+        bucket_nbytes = [max(r.nbytes for r in per_worker) for per_worker in encoded]
+        comm_times = bucket_comm_times(bucket_nbytes, cluster, degradation)
+        tail = 0.0
+        if injector is not None:
+            # Same RNG keys as the monolithic allreduce: one draw per ring
+            # step per iteration, regardless of bucketing or compression.
+            tail = injector.collective_penalty(
+                "allreduce", iteration, 2 * max(world - 1, 0)
+            )
+            tail += injector.drain_penalty()
+        ready = [max(wr[j] for wr in worker_ready) for j in range(len(buckets))]
+        sched = schedule_overlap(
+            ready, comm_times, backward_end, tail_penalty=tail,
+            encode_times=encode_times,
+        )
+        # Split the exposure: seconds the channel was busy past
+        # backward_end are wire time; idle seconds (waiting for encode)
+        # are the compressor's per-step cost on the critical path.
+        wire_busy = sum(
+            max(0.0, ev.end - max(ev.start, backward_end)) for ev in sched.events
+        )
+        last_end = sched.events[-1].end if sched.events else 0.0
+        wire_busy += max(0.0, sched.finish - max(last_end, backward_end))
+        encode_stall = max(0.0, sched.exposed - wire_busy)
+        timeline.comm += wire_busy
+        timeline.encode += encode_stall
+        nbytes = float(sum(bucket_nbytes))
+        timeline.bytes_per_iteration = nbytes
+        if _metrics.COLLECT:
+            _metrics.REGISTRY.counter("ddp.wire_bytes").inc(int(nbytes) * world)
+
+        # --- exact numerics: per-bucket decode ----------------------------
+        agg_layers: list[np.ndarray | None] = [None] * len(params)
+        t0 = time.perf_counter()
+        for b, per_worker, ev, comm in zip(buckets, encoded, sched.events, comm_times):
+            with _trace.span(
+                "ddp.bucket",
+                iteration=timeline.iterations,
+                bucket=b.index,
+                nbytes=bucket_nbytes[b.index],
+                ready_s=ev.ready,
+                start_s=ev.start,
+                end_s=ev.end,
+            ):
+                decoded = self.compressor.decode_aggregate(per_worker)
+                for local, param_idx in enumerate(b.param_indices):
+                    agg_layers[param_idx] = decoded[local]
+        timeline.decode += time.perf_counter() - t0
+
+        self.overlap_events.append(
+            {
+                "iteration": iteration,
+                "backward_end_s": backward_end,
+                "comm_total_s": sched.comm_total,
+                "comm_exposed_s": wire_busy,
+                "encode_stall_s": encode_stall,
+                "tail_penalty_s": tail,
+                "compressor": self.compressor.name,
+                "buckets": [
+                    {
+                        **ev.as_dict(),
+                        "nbytes": nb,
+                        "comm_s": comm,
+                        "encode_s": enc,
+                    }
+                    for nb, ev, comm, enc in zip(
+                        bucket_nbytes, sched.events, comm_times, encode_times
+                    )
+                ],
+            }
+        )
+
+        # --- apply ---------------------------------------------------------
+        with _trace.span("ddp.step", iteration=timeline.iterations):
+            for p, g in zip(params, agg_layers):
+                p.grad = np.ascontiguousarray(g, dtype=np.float32)
+            self.optimizer.step()
+
     def train_epoch(self, worker_loaders: list) -> TimelineBreakdown:
         """One synchronized epoch over per-worker shard loaders.
 
         All loaders must yield the same number of batches; each yields that
         worker's micro-batch for the iteration.
         """
-        if len(worker_loaders) != self.cluster.num_nodes:
-            raise ValueError("need one loader per node")
+        if len(worker_loaders) != self.cluster.world_size:
+            raise ValueError("need one loader per rank")
         timeline = TimelineBreakdown()
         self.model.train()
         params = self.optimizer.params
@@ -378,7 +547,13 @@ class DistributedTrainer:
                 active = range(len(batches))
 
             if self.overlap:
-                self._overlap_iteration(batches, active, iteration, timeline)
+                if isinstance(self.compressor, NoCompression):
+                    self._overlap_iteration(batches, active, iteration, timeline)
+                else:
+                    self._compressed_overlap_iteration(
+                        batches, active, iteration, timeline
+                    )
+                self.compressor.advance_step()
                 timeline.iterations += 1
                 self._global_iteration += 1
                 continue
@@ -455,6 +630,7 @@ class DistributedTrainer:
                 for p, g in zip(params, agg):
                     p.grad = np.ascontiguousarray(g, dtype=np.float32)
                 self.optimizer.step()
+            self.compressor.advance_step()
             timeline.iterations += 1
             self._global_iteration += 1
 

@@ -165,6 +165,7 @@ def schedule_overlap(
     comm_times: Sequence[float],
     backward_end: float,
     tail_penalty: float = 0.0,
+    encode_times: Sequence[float] | None = None,
 ) -> OverlapTimeline:
     """Schedule bucket allreduces on one serial communication channel.
 
@@ -175,17 +176,31 @@ def schedule_overlap(
     cannot arrive after backward finished; measurement jitter could
     otherwise place it there).
 
-    Since every start is ≤ ``backward_end`` after clamping, the finish
-    time is ≤ ``backward_end + Σ comm + tail_penalty``, so ``exposed`` is
-    always within ``[0, comm_total]`` and ``overlap_fraction`` is a true
-    fraction.
+    ``encode_times`` models per-bucket compression: bucket ``i`` becomes
+    wire-ready ``encode_i`` seconds *after* its last gradient arrived.
+    The encode cost is added after the clamp — encoding genuinely delays
+    the payload past the arrival, which is exactly the per-step cost an
+    explicit compressor pays and a pre-factorized model does not (the
+    paper's Section 2/6 argument, now measurable instead of forbidden).
+
+    Without encode times every start is ≤ ``backward_end`` after
+    clamping, so the finish time is ≤ ``backward_end + Σ comm +
+    tail_penalty``, ``exposed`` is within ``[0, comm_total]`` and
+    ``overlap_fraction`` is a true fraction.  Encode delays can push the
+    schedule past that bound; the encode seconds themselves are charged
+    by the caller, so ``comm_total`` still counts only wire time and the
+    fraction stays clamped.
     """
     if len(ready_times) != len(comm_times):
         raise ValueError("ready_times and comm_times must align")
+    if encode_times is not None and len(encode_times) != len(comm_times):
+        raise ValueError("encode_times and comm_times must align")
     events: list[BucketEvent] = []
     channel_free = 0.0
     for i, (ready, comm) in enumerate(zip(ready_times, comm_times)):
         ready = min(max(0.0, float(ready)), backward_end)
+        if encode_times is not None:
+            ready += max(0.0, float(encode_times[i]))
         start = max(ready, channel_free)
         end = start + float(comm)
         channel_free = end

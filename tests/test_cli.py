@@ -89,7 +89,10 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "pufferfish model" in out
 
-    @pytest.mark.parametrize("compressor", ["powersgd", "signum", "qsgd", "binary", "atomo"])
+    @pytest.mark.parametrize(
+        "compressor",
+        ["powersgd", "signum", "qsgd", "binary", "atomo", "abtrain", "vargate"],
+    )
     def test_every_compressor_runs(self, compressor, capsys):
         rc = main([
             "simulate", "--model", "mlp", "--nodes", "2",
@@ -122,14 +125,44 @@ class TestSimulateOverlap:
         assert "overlap:" in out
         assert "faults (seed 42)" in out
 
-    def test_overlap_rejects_compressor(self, capsys):
+    def test_overlap_rejects_non_allreduce_compressor(self, capsys):
         rc = main([
             "simulate", "--model", "mlp", "--nodes", "2",
             "--batch-size", "8", "--iterations", "1",
             "--overlap", "--compressor", "topk",
         ])
         assert rc == 2
-        assert "overlap" in capsys.readouterr().err
+        assert "allreduce-compatible" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("compressor", ["powersgd", "abtrain", "vargate"])
+    def test_overlap_accepts_allreduce_compressor(self, compressor, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "2",
+            "--overlap", "--bucket-mb", "0.05",
+            "--compressor", compressor,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlap:" in out and "buckets" in out
+
+    def test_hierarchical_topology_flags(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--gpus-per-node", "2", "--intra-bandwidth", "50",
+            "--batch-size", "8", "--iterations", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 nodes x 2 gpus" in out and "intra" in out
+
+    def test_rejects_nonpositive_gpus_per_node(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--gpus-per-node", "0",
+        ])
+        assert rc == 2
+        assert "--gpus-per-node" in capsys.readouterr().err
 
     def test_no_fused_flag_runs_per_tensor_path(self, capsys):
         rc = main([

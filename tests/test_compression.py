@@ -5,12 +5,14 @@ import numpy as np
 import pytest
 
 from repro.compression import (
+    ABTraining,
     NoCompression,
     PowerSGD,
     QSGD,
     Signum,
     StochasticBinary,
     TopK,
+    VarianceGated,
 )
 
 
@@ -222,3 +224,184 @@ class TestStochasticBinary:
 
     def test_not_allreduce_compatible(self):
         assert not StochasticBinary(1).allreduce_compatible
+
+
+class TestPowerSGDSeedDeterminism:
+    """Regression: warm-start Q must be a pure function of (seed, layer),
+    not of process-global RNG state or first-encode order."""
+
+    def test_same_seed_reproduces_exactly(self, rng):
+        g = [rng.standard_normal((12, 9)).astype(np.float32)]
+        a = PowerSGD(1, rank=2, seed=7)
+        b = PowerSGD(1, rank=2, seed=7)
+        out_a = a.decode_aggregate([a.encode(0, g)])
+        out_b = b.decode_aggregate([b.encode(0, g)])
+        np.testing.assert_array_equal(out_a[0], out_b[0])
+
+    def test_different_seeds_differ(self, rng):
+        g = [rng.standard_normal((12, 9)).astype(np.float32)]
+        a = PowerSGD(1, rank=2, seed=0)
+        b = PowerSGD(1, rank=2, seed=1)
+        assert not np.array_equal(
+            a.encode(0, g).payload[0][0], b.encode(0, g).payload[0][0]
+        )
+
+    def test_encode_order_does_not_change_q(self, rng):
+        # Layer 1 encoded first vs last: identical warm starts, because Q
+        # is keyed on the global layer index, not on call order.
+        grads = [
+            rng.standard_normal((6, 5)).astype(np.float32),
+            rng.standard_normal((4, 8)).astype(np.float32),
+        ]
+        forward = PowerSGD(1, rank=2, seed=3)
+        forward.encode(0, grads)
+        reverse = PowerSGD(1, rank=2, seed=3)
+        reverse.encode(0, [grads[1]], layer_offset=1)
+        reverse.encode(0, [grads[0]], layer_offset=0)
+        for layer in (0, 1):
+            np.testing.assert_array_equal(
+                forward._qs[layer], reverse._qs[layer]
+            )
+
+    def test_immune_to_global_rng_consumption(self, rng):
+        g = [rng.standard_normal((10, 10)).astype(np.float32)]
+        a = PowerSGD(1, rank=2, seed=5)
+        np.random.random(1000)  # perturb the legacy global RNG
+        from repro.utils import spawn_rng
+
+        spawn_rng().random(1000)  # and the library's own spawning stream
+        b = PowerSGD(1, rank=2, seed=5)
+        np.testing.assert_array_equal(
+            a.encode(0, g).payload[0][0], b.encode(0, g).payload[0][0]
+        )
+
+
+class TestABTraining:
+    def test_resync_step_is_exact_mean(self, rng):
+        comp = ABTraining(3, rank=2, resync_every=4)
+        gsets = [grads_for(rng) for _ in range(3)]
+        agg = comp.decode_aggregate([comp.encode(w, g) for w, g in enumerate(gsets)])
+        for i in range(len(gsets[0])):
+            expected = np.mean([g[i] for g in gsets], axis=0)
+            assert np.allclose(agg[i], expected, atol=1e-5)
+
+    def test_factor_steps_send_rank_r_payloads(self, rng):
+        comp = ABTraining(1, rank=2, resync_every=4)
+        g = [rng.standard_normal((16, 12)).astype(np.float32)]
+        full = comp.encode(0, g)
+        comp.decode_aggregate([full])
+        comp.advance_step()
+        a_step = comp.encode(0, g)  # step 1: A-step
+        # A-step wire: n x r floats, far below the full n x m matrix.
+        assert a_step.nbytes == 16 * 2 * 4
+        assert a_step.nbytes < full.nbytes
+        comp.decode_aggregate([a_step])
+        comp.advance_step()
+        b_step = comp.encode(0, g)  # step 2: B-step
+        assert b_step.nbytes == 2 * 12 * 4
+
+    def test_schedule_alternates_and_resyncs(self):
+        comp = ABTraining(1, rank=2, resync_every=4)
+        modes = []
+        for _ in range(8):
+            modes.append(comp._mode())
+            comp.advance_step()
+        assert modes == ["resync", "a", "b", "a", "resync", "a", "b", "a"]
+
+    def test_resync_flushes_error_feedback(self, rng):
+        comp = ABTraining(1, rank=1, resync_every=2)
+        g = [rng.standard_normal((8, 8)).astype(np.float32)]
+        comp.decode_aggregate([comp.encode(0, g)])  # step 0: resync
+        comp.advance_step()
+        comp.decode_aggregate([comp.encode(0, g)])  # step 1: lossy A-step
+        assert comp.error_norm(0) > 0.0
+        comp.advance_step()
+        comp.decode_aggregate([comp.encode(0, g)])  # step 2: resync again
+        assert comp.error_norm(0) == 0.0
+
+    def test_lowrank_gradient_recovered_on_factor_steps(self, rng):
+        # After resync the bases span the gradient's own column space, so
+        # a persistent rank-1 gradient survives the A/B projections.
+        comp = ABTraining(1, rank=1, resync_every=4, error_feedback=False)
+        u = rng.standard_normal((10, 1)).astype(np.float32)
+        v = rng.standard_normal((1, 6)).astype(np.float32)
+        g = [u @ v]
+        comp.decode_aggregate([comp.encode(0, g)])
+        comp.advance_step()
+        agg = comp.decode_aggregate([comp.encode(0, g)])
+        assert np.allclose(agg[0], g[0], atol=1e-4)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ABTraining(1, rank=0)
+        with pytest.raises(ValueError):
+            ABTraining(1, resync_every=1)
+
+    def test_allreduce_compatible(self):
+        assert ABTraining(2).allreduce_compatible
+
+
+class TestVarianceGated:
+    def test_first_step_sends_everything(self, rng):
+        comp = VarianceGated(2, threshold=0.5)
+        gsets = [grads_for(rng) for _ in range(2)]
+        agg = comp.decode_aggregate([comp.encode(w, g) for w, g in enumerate(gsets)])
+        for i in range(len(gsets[0])):
+            expected = np.mean([g[i] for g in gsets], axis=0)
+            assert np.allclose(agg[i], expected, atol=1e-5)
+
+    def test_noisy_layer_gets_deferred_then_force_sent(self, rng):
+        comp = VarianceGated(4, threshold=0.5, max_defer=2)
+        shapes = ((6, 6),)
+
+        def step():
+            gsets = [grads_for(rng, shapes) for _ in range(4)]
+            results = [comp.encode(w, g) for w, g in enumerate(gsets)]
+            agg = comp.decode_aggregate(results)
+            comp.advance_step()
+            return results, agg
+
+        step()  # step 0: no stats -> sent; iid noise -> high variance
+        assert not comp.gate_open(0)
+        results, agg = step()  # step 1: deferred
+        assert results[0].nbytes == 1  # gate header only
+        assert np.all(agg[0] == 0.0)
+        assert comp.error_norm(0) > 0.0
+        step()  # step 2: deferred again (hits max_defer)
+        assert comp.gate_open(0)
+        results, _ = step()  # step 3: force-sent, residual flushed
+        assert results[0].nbytes == 1 + 36 * 4
+        assert comp.error_norm(0) == 0.0
+
+    def test_agreeing_workers_keep_gate_open(self, rng):
+        comp = VarianceGated(3, threshold=0.5)
+        base = grads_for(rng, ((5, 4),))
+        for _ in range(3):
+            # Near-identical gradients: relative variance ~ 0.
+            gsets = [[g + 1e-4 * w for g in base] for w in range(3)]
+            comp.decode_aggregate([comp.encode(w, g) for w, g in enumerate(gsets)])
+            comp.advance_step()
+            assert comp.gate_open(0)
+
+    def test_deferred_gradients_accumulate_in_residual(self, rng):
+        comp = VarianceGated(4, threshold=1e-9, max_defer=10)
+        g = grads_for(rng, ((4, 4),))
+        # Step 0 sends (no stats) and records high variance.
+        comp.decode_aggregate(
+            [comp.encode(w, grads_for(rng, ((4, 4),))) for w in range(4)]
+        )
+        comp.advance_step()
+        comp.decode_aggregate([comp.encode(w, g) for w in range(4)])
+        comp.advance_step()
+        comp.decode_aggregate([comp.encode(w, g) for w in range(4)])
+        expected = np.linalg.norm(2 * g[0].astype(np.float64))
+        assert comp.error_norm(0) == pytest.approx(expected, rel=1e-5)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            VarianceGated(1, threshold=0.0)
+        with pytest.raises(ValueError):
+            VarianceGated(1, max_defer=0)
+
+    def test_allreduce_compatible(self):
+        assert VarianceGated(2).allreduce_compatible

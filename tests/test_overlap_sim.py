@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compression import PowerSGD
+from repro.compression import PowerSGD, TopK
 from repro.data import DataLoader, make_cifar_like, shard_dataset
 from repro.distributed import (
     Bucket,
@@ -280,18 +280,35 @@ class TestDistributedOverlap:
 
         assert modeled(t1.overlap_events) == modeled(t2.overlap_events)
 
-    def test_overlap_rejects_compressors(self):
+    def test_overlap_rejects_non_allreduce_compressors(self):
+        """Sum-incompatible encodings (sign/top-k) still cannot overlap —
+        they allgather the whole gradient at once.  Allreduce-compatible
+        compressors are now accepted and encode per bucket."""
         set_seed(0)
         model = MLP(12, [8], 4)
         opt = SGD(model.parameters(), lr=0.05)
-        with pytest.raises(ValueError, match="overlap"):
+        with pytest.raises(ValueError, match="allreduce-compatible"):
             DistributedTrainer(
                 model,
                 opt,
                 ClusterSpec(4),
-                compressor=PowerSGD(4, rank=2),
+                compressor=TopK(4, ratio=0.1),
                 overlap=True,
             )
+
+    def test_overlap_accepts_powersgd(self):
+        set_seed(0)
+        model = MLP(12, [8], 4)
+        opt = SGD(model.parameters(), lr=0.05)
+        trainer = DistributedTrainer(
+            model,
+            opt,
+            ClusterSpec(4),
+            compressor=PowerSGD(4, rank=2),
+            overlap=True,
+            bucket_mb=0.05,
+        )
+        assert trainer.overlap and trainer.compressor.name == "powersgd"
 
     def test_bucket_comm_times_match_sum(self):
         cluster = ClusterSpec(4, bandwidth_gbps=0.3)
