@@ -6,14 +6,17 @@ Compares a fresh ``BENCH_kernels.json`` against the committed baseline
 are machine-dependent, so times are never diffed against the baseline;
 what is gated:
 
-* **structure** — the op set, each op's parity tag, benchmark shape and
-  enforced floor must match the baseline exactly: a silently dropped op
-  or a loosened floor is a gate change, not noise;
-* **parity** — every op's ``parity_ok`` must be true in the current run
-  (bit-exact or within the published tolerance, per its tag);
-* **speedup floors** — ops with a ``min_speedup`` (the headline: ≥1.5×
-  on the batched im2col-matmul conv forward at CPU-scaled widths) must
-  meet it in the current run.
+* **structure** — the op set and the fused-step set, each entry's parity
+  tag (or match kind), benchmark shape and enforced floor must match the
+  baseline exactly: a silently dropped op or a loosened floor is a gate
+  change, not noise;
+* **parity** — every op's ``parity_ok`` (and every fused step's
+  ``match_ok``) must be true in the current run (bit-exact or within the
+  published tolerance, per its tag);
+* **speedup floors** — ops with a ``min_speedup`` must meet it, and both
+  fused optimizer steps (FusedAdam / FusedLAMB vs the in-place
+  per-tensor loop) must hold their ≥2× floor at CPU-scaled wide-model
+  widths.
 
 Usage::
 
@@ -26,8 +29,17 @@ from __future__ import annotations
 
 from gatelib import ExactFields, Gate, run_gate
 
+OPS_RULE = ExactFields(
+    ("tag", "shape", "min_speedup"),
+    note="kernel benchmark structure changed",
+)
+FUSED_RULE = ExactFields(
+    ("n_tensors", "n_params", "match", "min_speedup"),
+    note="fused-step benchmark structure changed",
+)
 
-def invariants(op: str, cur: dict) -> list[str]:
+
+def op_invariants(op: str, cur: dict) -> list[str]:
     failures: list[str] = []
     if not cur.get("parity_ok"):
         failures.append(
@@ -44,21 +56,51 @@ def invariants(op: str, cur: dict) -> list[str]:
     return failures
 
 
+def fused_invariants(name: str, cur: dict) -> list[str]:
+    failures: list[str] = []
+    if not cur.get("match_ok"):
+        failures.append(
+            f"fused_step.{name}: fused result diverged from the per-tensor "
+            f"loop (match kind {cur.get('match')!r})"
+        )
+    floor = cur.get("min_speedup")
+    speedup = cur.get("speedup")
+    if floor is not None and (speedup is None or speedup < floor):
+        failures.append(
+            f"fused_step.{name}: fused-vs-loop speedup {speedup} below "
+            f"enforced floor {floor}x (arena win regressed)"
+        )
+    return failures
+
+
+def _walk(current, baseline, section, rule, invariants, failures):
+    cur_items = current.get(section, {})
+    for name, base in sorted(baseline.get(section, {}).items()):
+        cur = cur_items.get(name)
+        if cur is None:
+            failures.append(f"{section}.{name}: missing from current run")
+            continue
+        rule.check(f"{section}.{name}", cur, base, 0.0, failures)
+    for name, scenario in sorted(cur_items.items()):
+        failures.extend(invariants(name, scenario))
+
+
+def check(current: dict, baseline: dict, threshold: float) -> list[str]:
+    failures: list[str] = []
+    _walk(current, baseline, "ops", OPS_RULE, op_invariants, failures)
+    _walk(current, baseline, "fused_step", FUSED_RULE, fused_invariants, failures)
+    return failures
+
+
 GATE = Gate(
     name="kernel",
     default_current="BENCH_kernels.json",
     default_baseline="benchmarks/baselines/kernels_baseline.json",
     section="ops",
     item_word="ops",
-    rules=(
-        ExactFields(
-            ("tag", "shape", "min_speedup"),
-            note="kernel benchmark structure changed",
-        ),
-    ),
-    invariants=invariants,
+    custom=check,
     ok_line=lambda n, t: (
-        f"kernel regression gate: {n} ops OK "
+        f"kernel regression gate: {n} ops + fused steps OK "
         "(structure exact, parity + speedup floors hold)"
     ),
     description=__doc__.splitlines()[0],

@@ -20,6 +20,7 @@ Five subcommands cover the library's main entry points:
 Examples::
 
     python -m repro train --model resnet18 --method pufferfish --epochs 10
+    python -m repro train --task transformer --optimizer adam --fused --epochs 6
     python -m repro factorize --model vgg19 --rank-ratio 0.25
     python -m repro simulate --model resnet18 --nodes 8 --compressor powersgd
     python -m repro profile quickstart --out trace.json
@@ -93,6 +94,25 @@ def _overlap_compatible(cli_name: str) -> bool:
     return registered_compressors()[_compressor_name(cli_name)].allreduce_compatible
 
 
+OPTIMIZERS = ("sgd", "adam", "lamb")
+# Per-optimizer CLI default learning rate (SGD matches the CIFAR recipe,
+# Adam/LAMB the transformer translation task).
+_OPT_DEFAULT_LR = {"sgd": 0.05, "adam": 2e-3, "lamb": 2e-3}
+
+
+def _optimizer_factory(name: str, lr: float, fused: bool):
+    """Factory for loop or fused optimizers; all three loop/fused pairs
+    share semantics (Adam bit-exact, LAMB within its tolerance tag)."""
+    from .optim import LAMB, SGD, Adam, FusedAdam, FusedLAMB, FusedSGD
+
+    if name == "sgd":
+        cls = FusedSGD if fused else SGD
+        return lambda ps: cls(ps, lr=lr, momentum=0.9, weight_decay=1e-4)
+    loop_cls, fused_cls = {"adam": (Adam, FusedAdam), "lamb": (LAMB, FusedLAMB)}[name]
+    cls = fused_cls if fused else loop_cls
+    return lambda ps: cls(ps, lr=lr)
+
+
 _OVERLAP_REJECTION = (
     "--overlap requires an allreduce-compatible compressor (none, powersgd, "
     "abtrain, vargate): sum-incompatible encodings allgather the whole "
@@ -104,17 +124,89 @@ _OVERLAP_REJECTION = (
 # ---------------------------------------------------------------------------
 
 
+def _train_transformer(args, opt_factory) -> int:
+    """The paper's WMT16 transformer experiment at laptop scale: synthetic
+    reverse-and-relabel translation, Adam/LAMB-driven, greedy-decode BLEU."""
+    from . import nn
+    from .core import build_hybrid
+    from .data import make_translation_dataset
+    from .metrics import corpus_bleu, perplexity
+    from .models import Seq2SeqTransformer, transformer_hybrid_config
+    from .tensor import no_grad
+    from .utils import set_seed
+
+    vocab = 20
+    set_seed(args.seed)
+    full = make_translation_dataset(
+        n=args.samples, vocab_size=vocab, min_len=4, max_len=8,
+        rng=np.random.default_rng(args.seed),
+    )
+    train_ds, val_ds = full.split(int(0.85 * args.samples))
+    loss_fn = nn.CrossEntropyLoss(ignore_index=0, label_smoothing=0.1)
+    model = Seq2SeqTransformer(vocab_size=vocab, d_model=32, n_heads=4,
+                               num_layers=2, d_ff=64, dropout=0.0, max_len=16)
+
+    def run_epochs(m, opt, epochs):
+        for _ in range(epochs):
+            m.train()
+            for i in range(0, len(train_ds), args.batch_size):
+                src = train_ds.src[i : i + args.batch_size]
+                tgt = train_ds.tgt[i : i + args.batch_size]
+                opt.zero_grad()
+                logits = m(src, tgt[:, :-1])
+                loss_fn(logits.reshape(-1, vocab), tgt[:, 1:].reshape(-1)).backward()
+                opt.step()
+
+    if args.method == "pufferfish":
+        run_epochs(model, opt_factory(model.parameters()), args.warmup_epochs)
+        model, report = build_hybrid(model, transformer_hybrid_config(rank_ratio=args.rank_ratio))
+        print(f"factorized: {report.params_before:,} -> {report.params_after:,} "
+              f"params ({report.compression:.2f}x), SVD {report.svd_seconds*1e3:.0f} ms")
+        run_epochs(model, opt_factory(model.parameters()),
+                   max(args.epochs - args.warmup_epochs, 0))
+    else:
+        run_epochs(model, opt_factory(model.parameters()), args.epochs)
+
+    model.eval()
+    with no_grad():
+        logits = model(val_ds.src, val_ds.tgt[:, :-1])
+        nll = nn.CrossEntropyLoss(ignore_index=0)(
+            logits.reshape(-1, vocab), val_ds.tgt[:, 1:].reshape(-1)
+        )
+    hyp = model.greedy_decode(val_ds.src, bos=1, eos=2, max_len=val_ds.tgt.shape[1])
+    bleu = corpus_bleu([list(h) for h in hyp], [list(t) for t in val_ds.tgt],
+                       strip_ids={0, 1, 2})
+    print(f"val perplexity: {perplexity(float(nll.data)):.2f}")
+    print(f"val BLEU: {bleu:.2f}")
+    if args.checkpoint:
+        from .utils import save_checkpoint
+
+        save_checkpoint(args.checkpoint, model, epoch=args.epochs, best=bleu)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
 def cmd_train(args) -> int:
     from .core import PufferfishTrainer, Trainer
     from .data import DataLoader, make_cifar_like
-    from .optim import SGD, FusedSGD, MultiStepLR
+    from .optim import MultiStepLR
     from .utils import Logger, set_seed
 
     if args.fused and args.amp:
         # The AMP cast round-trip rebinds every p.data each batch, which
-        # would rebuild the arena (and reset momentum) every step.
+        # would rebuild the arena (and reset optimizer state) every step.
         print("--fused is incompatible with --amp", file=sys.stderr)
         return 2
+    opt_name = args.optimizer or ("adam" if args.task == "transformer" else "sgd")
+    lr = args.lr if args.lr is not None else _OPT_DEFAULT_LR[opt_name]
+    opt_factory = _optimizer_factory(opt_name, lr, args.fused)
+
+    if args.task == "transformer":
+        if args.amp:
+            print("--task transformer does not support --amp", file=sys.stderr)
+            return 2
+        return _train_transformer(args, opt_factory)
+
     set_seed(args.seed)
     rng = np.random.default_rng(args.seed)
     ds = make_cifar_like(n=args.samples, num_classes=args.classes, noise=args.noise, rng=rng)
@@ -124,8 +216,6 @@ def cmd_train(args) -> int:
 
     model = _make_model(args.model, args.classes, args.width)
     logger = Logger(args.model)
-    opt_cls = FusedSGD if args.fused else SGD
-    opt_factory = lambda ps: opt_cls(ps, lr=args.lr, momentum=0.9, weight_decay=1e-4)
     sched_factory = lambda opt: MultiStepLR(opt, [int(0.75 * args.epochs)], gamma=0.1)
 
     if args.method == "pufferfish":
@@ -239,10 +329,18 @@ def cmd_simulate(args) -> int:
     shards = shard_dataset(ds.images, ds.labels, world)
     loaders = [DataLoader(x, y, args.batch_size) for x, y in shards]
 
-    # FusedSGD is bit-exact vs the per-tensor loop here (every parameter
-    # receives an averaged gradient), so the fast path is the default.
-    opt_cls = FusedSGD if args.fused else SGD
-    opt = opt_cls(model.parameters(), lr=args.lr, momentum=0.9)
+    # The fused optimizers are the default fast path: every parameter
+    # receives an averaged gradient here, so FusedSGD/FusedAdam are
+    # bit-exact vs their per-tensor loops (FusedLAMB within its
+    # tolerance tag), with or without --compressor on the
+    # allreduce-compatible overlap path.
+    opt_name = args.optimizer
+    lr = args.lr if args.lr is not None else _OPT_DEFAULT_LR[opt_name]
+    if opt_name == "sgd":
+        opt_cls = FusedSGD if args.fused else SGD
+        opt = opt_cls(model.parameters(), lr=lr, momentum=0.9)
+    else:
+        opt = _optimizer_factory(opt_name, lr, args.fused)(model.parameters())
     trainer = DistributedTrainer(
         model, opt, cluster,
         compressor=_make_compressor(args.compressor, world),
@@ -753,19 +851,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         add_backend_arg(p)
 
-    p_train = sub.add_parser("train", help="train on the synthetic CIFAR task")
+    p_train = sub.add_parser("train", help="train on a synthetic task")
     common(p_train)
+    p_train.add_argument("--task", choices=("cifar", "transformer"), default="cifar",
+                         help="cifar: image classification (--model/--width apply); "
+                              "transformer: reverse-and-relabel translation "
+                              "(Seq2SeqTransformer, Adam-driven, greedy BLEU)")
+    p_train.add_argument("--optimizer", choices=OPTIMIZERS, default=None,
+                         help="default: sgd for cifar, adam for transformer")
     p_train.add_argument("--method", choices=("vanilla", "pufferfish"), default="pufferfish")
     p_train.add_argument("--epochs", type=int, default=10)
     p_train.add_argument("--warmup-epochs", type=int, default=3)
     p_train.add_argument("--batch-size", type=int, default=32)
-    p_train.add_argument("--lr", type=float, default=0.05)
+    p_train.add_argument("--lr", type=float, default=None,
+                         help="default: 0.05 for sgd, 2e-3 for adam/lamb")
     p_train.add_argument("--samples", type=int, default=512)
     p_train.add_argument("--noise", type=float, default=0.2)
     p_train.add_argument("--amp", action="store_true", help="mixed-precision emulation")
     p_train.add_argument("--fused", action="store_true",
-                         help="fused flat-arena SGD updates (bit-exact when every "
-                              "parameter gets a gradient; incompatible with --amp)")
+                         help="fused flat-arena optimizer updates (SGD/Adam bit-exact "
+                              "when every parameter gets a gradient, LAMB within its "
+                              "tolerance tag; incompatible with --amp)")
     p_train.add_argument("--checkpoint", default=None, help="write final .npz checkpoint")
     p_train.set_defaults(func=cmd_train)
 
@@ -781,7 +887,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--bandwidth", type=float, default=0.3, help="Gbps per link")
     p_sim.add_argument("--batch-size", type=int, default=16)
     p_sim.add_argument("--iterations", type=int, default=2)
-    p_sim.add_argument("--lr", type=float, default=0.05)
+    p_sim.add_argument("--optimizer", choices=OPTIMIZERS, default="sgd",
+                       help="composes with --fused and --compressor")
+    p_sim.add_argument("--lr", type=float, default=None,
+                       help="default: 0.05 for sgd, 2e-3 for adam/lamb")
     p_sim.add_argument("--noise", type=float, default=0.2)
     p_sim.add_argument("--overlap", action="store_true",
                        help="bucketed allreduce overlapped with backward "
@@ -796,8 +905,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--bucket-mb", type=float, default=25.0,
                        help="gradient bucket size cap in MB (DDP default 25)")
     p_sim.add_argument("--fused", action=argparse.BooleanOptionalAction, default=True,
-                       help="fused flat-arena SGD updates (bit-exact; --no-fused "
-                            "for the per-tensor loop)")
+                       help="fused flat-arena optimizer updates (bit-exact for "
+                            "sgd/adam; --no-fused for the per-tensor loop)")
     p_sim.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="fault-injection spec: JSON file/string or compact form, e.g. "

@@ -2,8 +2,9 @@
 
 from .optimizer import Optimizer, clip_grad_norm
 from .sgd import SGD
-from .fused import FusedSGD
+from .fused import FusedOptimizer, FusedSGD, FusedAdam, FusedLAMB
 from .adam import Adam
+from .lamb import LAMB
 from .lr_scheduler import (
     MultiStepLR,
     LinearWarmup,
@@ -16,8 +17,12 @@ __all__ = [
     "Optimizer",
     "clip_grad_norm",
     "SGD",
+    "FusedOptimizer",
     "FusedSGD",
+    "FusedAdam",
+    "FusedLAMB",
     "Adam",
+    "LAMB",
     "MultiStepLR",
     "LinearWarmup",
     "ReduceLROnPlateau",

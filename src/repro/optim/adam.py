@@ -13,6 +13,23 @@ __all__ = ["Adam"]
 
 
 class Adam(Optimizer):
+    """Per-tensor Adam loop with allocation-free steps.
+
+    Every update runs through ``out=`` ufunc forms over two per-parameter
+    scratch buffers, so a step allocates nothing after the first — and
+    the per-element float32 operation order is identical to both the
+    naive expression chain and :class:`repro.optim.FusedAdam`'s arena
+    update, keeping all three bit-exact (asserted in tests).
+
+    Grad-is-``None`` semantics: parameters whose ``grad`` is ``None`` are
+    *skipped* entirely — no weight decay, no moment update, and their
+    per-parameter step count does not advance.  The fused variant
+    (:class:`repro.optim.FusedAdam`) instead treats a missing gradient as
+    zero under one global step count, so moments decay and the bias
+    correction advances on those segments.  The two agree bit-for-bit
+    whenever every parameter has a gradient (the DDP allreduce case).
+    """
+
     def __init__(
         self,
         params: Iterable[Parameter],
@@ -31,21 +48,35 @@ class Adam(Optimizer):
         for p in self.params:
             if p.grad is None:
                 continue
-            g = p.grad
-            if self.weight_decay > 0 and not getattr(p, "no_decay", False):
-                g = g + self.weight_decay * p.data
             state = self._state_for(p)
             if not state:
                 state["step"] = 0
                 state["m"] = np.zeros_like(p.data)
                 state["v"] = np.zeros_like(p.data)
+                state["wk"] = np.empty_like(p.data)
+                state["wk2"] = np.empty_like(p.data)
             state["step"] += 1
             t = state["step"]
             m, v = state["m"], state["v"]
+            wk, wk2 = state["wk"], state["wk2"]
+            if self.weight_decay > 0 and not getattr(p, "no_decay", False):
+                np.multiply(p.data, self.weight_decay, out=wk2)
+                wk2 += p.grad
+                g = wk2
+            else:
+                g = p.grad
             m *= b1
-            m += (1 - b1) * g
+            np.multiply(g, 1 - b1, out=wk)
+            m += wk
             v *= b2
-            v += (1 - b2) * g * g
-            m_hat = m / (1 - b1**t)
-            v_hat = v / (1 - b2**t)
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(g, 1 - b2, out=wk)
+            wk *= g
+            v += wk
+            # wk becomes the denominator √(v̂) + eps, wk2 the scaled m̂.
+            np.divide(v, 1 - b2**t, out=wk)
+            np.sqrt(wk, out=wk)
+            wk += self.eps
+            np.divide(m, 1 - b1**t, out=wk2)
+            wk2 *= self.lr
+            wk2 /= wk
+            p.data -= wk2

@@ -1,0 +1,93 @@
+"""LAMB optimizer (You et al. 2020) — layerwise-adaptive large-batch Adam.
+
+LAMB runs the Adam moment machinery per tensor, then rescales each
+tensor's update by a *trust ratio* ``‖w‖ / ‖u‖`` (1.0 when either norm
+is zero), where ``u = m̂ / (√v̂ + eps) + wd·w`` uses decoupled weight
+decay.  This keeps the update magnitude proportional to the weight
+magnitude per layer, which is what lets large-batch training match
+small-batch accuracy — the natural companion to Pufferfish's wide-model
+large-batch regime.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["LAMB"]
+
+
+class LAMB(Optimizer):
+    """Per-tensor LAMB loop with allocation-free steps.
+
+    Same in-place ``out=`` discipline as :class:`repro.optim.Adam`; the
+    per-tensor norms are single BLAS dots over the raveled update.
+
+    Grad-is-``None`` semantics: parameters whose ``grad`` is ``None`` are
+    *skipped* entirely — no weight decay, no moment update, and their
+    per-parameter step count does not advance.  The fused variant
+    (:class:`repro.optim.FusedLAMB`) instead treats a missing gradient as
+    zero under one global step count.  Unlike the Adam pair the two are
+    not bit-identical even when every parameter has a gradient:
+    ``lamb_update`` carries the tolerance parity tag because the fast
+    backend's segmented ``np.add.reduceat`` norms sum in a different
+    order than the per-tensor dots here.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        b1, b2 = self.betas
+        for p in self.params:
+            if p.grad is None:
+                continue
+            g = p.grad
+            state = self._state_for(p)
+            if not state:
+                state["step"] = 0
+                state["m"] = np.zeros_like(p.data)
+                state["v"] = np.zeros_like(p.data)
+                state["wk"] = np.empty_like(p.data)
+                state["wk2"] = np.empty_like(p.data)
+            state["step"] += 1
+            t = state["step"]
+            m, v = state["m"], state["v"]
+            wk, wk2 = state["wk"], state["wk2"]
+            m *= b1
+            np.multiply(g, 1 - b1, out=wk)
+            m += wk
+            v *= b2
+            np.multiply(g, 1 - b2, out=wk)
+            wk *= g
+            v += wk
+            # wk becomes the denominator √(v̂) + eps, wk2 the update u.
+            np.divide(v, 1 - b2**t, out=wk)
+            np.sqrt(wk, out=wk)
+            wk += self.eps
+            np.divide(m, 1 - b1**t, out=wk2)
+            wk2 /= wk
+            if self.weight_decay > 0 and not getattr(p, "no_decay", False):
+                np.multiply(p.data, self.weight_decay, out=wk)
+                wk2 += wk
+            w_flat = p.data.ravel()
+            u_flat = wk2.ravel()
+            w_norm = float(np.sqrt(np.dot(w_flat, w_flat)))
+            u_norm = float(np.sqrt(np.dot(u_flat, u_flat)))
+            ratio = w_norm / u_norm if w_norm > 0 and u_norm > 0 else 1.0
+            wk2 *= self.lr * ratio
+            p.data -= wk2

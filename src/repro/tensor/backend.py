@@ -64,6 +64,13 @@ PARITY: dict[str, str] = {
     "conv2d_forward": "tolerance",
     "conv2d_backward": "tolerance",
     "sgd_update": "bit-exact",
+    # Fused-optimizer arena updates.  adam_update runs the identical
+    # elementwise chain under both backends; lamb_update's per-layer
+    # trust ratios come from segmented reductions whose summation order
+    # differs (per-segment BLAS dot vs np.add.reduceat), so it carries
+    # the tolerance tag.
+    "adam_update": "bit-exact",
+    "lamb_update": "tolerance",
 }
 
 # Tolerances for ``tolerance``-tagged ops.  fp32 reassociation error in a
@@ -306,6 +313,99 @@ class Backend:
         flat -= tmp
         return momentum_buf
 
+    def adam_update(
+        self,
+        flat: np.ndarray,
+        g: np.ndarray,
+        m: np.ndarray,
+        v: np.ndarray,
+        tmp: np.ndarray,
+        decay_mask: np.ndarray | None,
+        lr: float,
+        beta1: float,
+        beta2: float,
+        eps: float,
+        step: int,
+    ) -> None:
+        """One bias-corrected Adam step over the flat arena, in place.
+
+        ``m``/``v`` are the flat first/second-moment slabs (updated in
+        place), ``step`` is the 1-based shared step count, ``g`` may be
+        clobbered.  The elementwise chain is exactly the per-tensor
+        :class:`repro.optim.Adam` loop, only batched — bit-exact parity
+        is the contract (the fast backend reorders nothing, it only
+        removes the temporaries).
+        """
+        if decay_mask is not None:
+            g = g + decay_mask * flat
+        m *= beta1
+        m += (1 - beta1) * g
+        v *= beta2
+        v += (1 - beta2) * g * g
+        m_hat = m / (1 - beta1**step)
+        v_hat = v / (1 - beta2**step)
+        flat -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def segment_norms(
+        self, x: np.ndarray, seg_starts: np.ndarray, seg_sizes: np.ndarray
+    ) -> np.ndarray:
+        """Per-segment L2 norms of ``x`` under the arena tiling.
+
+        Reference semantics: one BLAS dot per segment, matching what the
+        per-tensor LAMB loop computes with ``np.linalg.norm``.  The fast
+        backend replaces the loop with one squared pass plus
+        ``np.add.reduceat``, which changes the float32 summation order —
+        hence :data:`PARITY` tags ``lamb_update`` as ``tolerance``.
+        """
+        return np.array(
+            [
+                np.sqrt(np.dot(x[o : o + s], x[o : o + s]))
+                for o, s in zip(seg_starts, seg_sizes)
+            ],
+            dtype=np.float32,
+        )
+
+    def lamb_update(
+        self,
+        flat: np.ndarray,
+        g: np.ndarray,
+        m: np.ndarray,
+        v: np.ndarray,
+        tmp: np.ndarray,
+        decay_mask: np.ndarray | None,
+        seg_starts: np.ndarray,
+        seg_sizes: np.ndarray,
+        lr: float,
+        beta1: float,
+        beta2: float,
+        eps: float,
+        step: int,
+    ) -> None:
+        """One LAMB step (You et al. 2020) over the flat arena, in place.
+
+        Adam moments plus a per-layer *trust ratio* ``‖w‖/‖u‖`` scaling
+        the update ``u = m̂/(√v̂ + eps) + wd·w``; segments are the arena
+        tiling (one per parameter tensor).  The reference walks segments
+        one at a time — the per-tensor loop, verbatim; ``g`` may be
+        clobbered.
+        """
+        bc1 = 1 - beta1**step
+        bc2 = 1 - beta2**step
+        for off, size in zip(seg_starts, seg_sizes):
+            sl = slice(int(off), int(off) + int(size))
+            w_s, g_s, m_s, v_s = flat[sl], g[sl], m[sl], v[sl]
+            m_s *= beta1
+            m_s += (1 - beta1) * g_s
+            v_s *= beta2
+            v_s += (1 - beta2) * g_s * g_s
+            u = (m_s / bc1) / (np.sqrt(v_s / bc2) + eps)
+            if decay_mask is not None:
+                u += decay_mask[sl] * w_s
+            w_norm = float(np.sqrt(np.dot(w_s, w_s)))
+            u_norm = float(np.sqrt(np.dot(u, u)))
+            ratio = w_norm / u_norm if w_norm > 0 and u_norm > 0 else 1.0
+            w_s -= (lr * ratio) * u
+
 
 class NumpyBackend(Backend):
     """The reference backend: today's code, bit-exact with today's results."""
@@ -543,6 +643,102 @@ class FastBackend(Backend):
             else:
                 gx = padded
         return gw, gb, gx
+
+    # -- fused optimizers ----------------------------------------------
+
+    def adam_update(
+        self,
+        flat: np.ndarray,
+        g: np.ndarray,
+        m: np.ndarray,
+        v: np.ndarray,
+        tmp: np.ndarray,
+        decay_mask: np.ndarray | None,
+        lr: float,
+        beta1: float,
+        beta2: float,
+        eps: float,
+        step: int,
+    ) -> None:
+        """Allocation-free Adam chain: the reference's exact elementwise
+        ops rewritten in ``out=`` form over ``tmp`` and the (dead after
+        the moment updates) gradient buffer — bit-exact, zero fresh
+        temporaries per step."""
+        if decay_mask is not None:
+            np.multiply(decay_mask, flat, out=tmp)
+            g += tmp
+        m *= beta1
+        np.multiply(g, 1 - beta1, out=tmp)
+        m += tmp
+        v *= beta2
+        np.multiply(g, 1 - beta2, out=tmp)
+        tmp *= g
+        v += tmp
+        # g is dead now: reuse it for the denominator √(v̂) + eps.
+        np.divide(v, 1 - beta2**step, out=g)
+        np.sqrt(g, out=g)
+        g += eps
+        np.divide(m, 1 - beta1**step, out=tmp)
+        tmp *= lr
+        tmp /= g
+        flat -= tmp
+
+    def segment_norms(
+        self, x: np.ndarray, seg_starts: np.ndarray, seg_sizes: np.ndarray
+    ) -> np.ndarray:
+        """Segmented L2 norms in two vector ops: square the whole slab
+        into pooled scratch, ``np.add.reduceat`` at the precomputed
+        segment boundaries, one sqrt over the per-segment sums."""
+        sq = _scratch("segnorm_sq", x.shape, np.float32)
+        np.multiply(x, x, out=sq)
+        sums = np.add.reduceat(sq, seg_starts)
+        return np.sqrt(sums, out=sums)
+
+    def lamb_update(
+        self,
+        flat: np.ndarray,
+        g: np.ndarray,
+        m: np.ndarray,
+        v: np.ndarray,
+        tmp: np.ndarray,
+        decay_mask: np.ndarray | None,
+        seg_starts: np.ndarray,
+        seg_sizes: np.ndarray,
+        lr: float,
+        beta1: float,
+        beta2: float,
+        eps: float,
+        step: int,
+    ) -> None:
+        """Whole-arena LAMB: one vectorized moment/update chain, then
+        segmented trust-ratio norms via :meth:`segment_norms` broadcast
+        back over the tiling with ``np.repeat``.  Tolerance-tagged: the
+        reduceat summation order differs from the per-segment dots."""
+        m *= beta1
+        np.multiply(g, 1 - beta1, out=tmp)
+        m += tmp
+        v *= beta2
+        np.multiply(g, 1 - beta2, out=tmp)
+        tmp *= g
+        v += tmp
+        # g is dead: reuse it as the update vector u = m̂/(√v̂+eps)+wd·w.
+        den = _scratch("lamb_den", flat.shape, np.float32)
+        np.divide(v, 1 - beta2**step, out=den)
+        np.sqrt(den, out=den)
+        den += eps
+        np.divide(m, 1 - beta1**step, out=g)
+        g /= den
+        if decay_mask is not None:
+            np.multiply(decay_mask, flat, out=den)
+            g += den
+        w_norm = self.segment_norms(flat, seg_starts, seg_sizes)
+        u_norm = self.segment_norms(g, seg_starts, seg_sizes)
+        ratio = np.ones_like(w_norm)
+        ok = (w_norm > 0) & (u_norm > 0)
+        np.divide(w_norm, u_norm, out=ratio, where=ok)
+        ratio *= np.float32(lr)
+        np.multiply(g, np.repeat(ratio, seg_sizes), out=tmp)
+        flat -= tmp
 
 
 # ----------------------------------------------------------------------

@@ -160,6 +160,53 @@ class TestOpParity:
         if momentum:
             assert_parity("sgd_update", states["numpy"][1], states[name][1])
 
+    @pytest.mark.parametrize("decay,step", [(0.0, 1), (1e-2, 1), (1e-2, 7)])
+    def test_adam_update(self, name, rng, decay, step):
+        size = 4096
+        flat0 = rng.standard_normal(size).astype(np.float32)
+        g0 = rng.standard_normal(size).astype(np.float32)
+        m0 = (rng.standard_normal(size) * 0.1).astype(np.float32)
+        v0 = (rng.random(size) * 0.01).astype(np.float32)
+        mask = (rng.random(size) > 0.3).astype(np.float32) * decay if decay else None
+        states = {}
+        for b in ("numpy", name):
+            flat, g, m, v = flat0.copy(), g0.copy(), m0.copy(), v0.copy()
+            tmp = np.empty(size, dtype=np.float32)
+            backend.get(b).adam_update(flat, g, m, v, tmp, mask, 1e-3, 0.9, 0.999, 1e-8, step)
+            states[b] = (flat, m, v)
+        for ref, got in zip(states["numpy"], states[name]):
+            assert_parity("adam_update", ref, got)
+
+    @pytest.mark.parametrize("decay,step", [(0.0, 1), (1e-2, 5)])
+    def test_lamb_update(self, name, rng, decay, step):
+        sizes = [7, 1, 640, 33, 2048, 5]
+        starts = np.array([0, 7, 8, 648, 681, 2729], dtype=np.intp)
+        size = int(sum(sizes))
+        flat0 = rng.standard_normal(size).astype(np.float32)
+        g0 = rng.standard_normal(size).astype(np.float32)
+        m0 = (rng.standard_normal(size) * 0.1).astype(np.float32)
+        v0 = (rng.random(size) * 0.01).astype(np.float32)
+        mask = (rng.random(size) > 0.3).astype(np.float32) * decay if decay else None
+        seg_sizes = np.asarray(sizes, dtype=np.intp)
+        states = {}
+        for b in ("numpy", name):
+            flat, g, m, v = flat0.copy(), g0.copy(), m0.copy(), v0.copy()
+            tmp = np.empty(size, dtype=np.float32)
+            backend.get(b).lamb_update(
+                flat, g, m, v, tmp, mask, starts, seg_sizes, 1e-3, 0.9, 0.999, 1e-6, step
+            )
+            states[b] = (flat, m, v)
+        for ref, got in zip(states["numpy"], states[name]):
+            assert_parity("lamb_update", ref, got)
+
+    def test_segment_norms(self, name, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        starts = np.array([0, 3, 4, 500], dtype=np.intp)
+        sizes = np.array([3, 1, 496, 500], dtype=np.intp)
+        ref = backend.get("numpy").segment_norms(x, starts, sizes)
+        got = backend.get(name).segment_norms(x, starts, sizes)
+        np.testing.assert_allclose(got, ref, rtol=TOLERANCE_RTOL, atol=TOLERANCE_ATOL)
+
 
 class TestParityContract:
     def test_every_dispatched_op_is_tagged(self):
@@ -172,6 +219,8 @@ class TestParityContract:
             "conv2d_forward",
             "conv2d_backward",
             "sgd_update",
+            "adam_update",
+            "lamb_update",
         }
         assert set(PARITY.values()) <= {"bit-exact", "tolerance"}
 

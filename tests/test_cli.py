@@ -191,6 +191,72 @@ class TestTrainFused:
         assert rc == 2
         assert "amp" in capsys.readouterr().err
 
+    def test_optimizer_defaults_per_task(self):
+        args = build_parser().parse_args(["train"])
+        assert args.task == "cifar" and args.optimizer is None and args.lr is None
+
+    @pytest.mark.parametrize("extra", [[], ["--fused"], ["--optimizer", "lamb"]])
+    def test_transformer_task(self, extra, capsys):
+        rc = main([
+            "train", "--task", "transformer", "--method", "vanilla",
+            "--epochs", "1", "--samples", "96", "--batch-size", "32",
+        ] + extra)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "val BLEU" in out and "val perplexity" in out
+
+    def test_transformer_pufferfish_fused_adam(self, capsys):
+        rc = main([
+            "train", "--task", "transformer", "--method", "pufferfish",
+            "--epochs", "2", "--warmup-epochs", "1", "--samples", "96",
+            "--batch-size", "32", "--fused",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "factorized:" in out and "val BLEU" in out
+
+    def test_cifar_with_adam(self, capsys):
+        rc = main([
+            "train", "--model", "mlp", "--method", "vanilla",
+            "--epochs", "1", "--samples", "64", "--batch-size", "32",
+            "--optimizer", "adam", "--fused",
+        ])
+        assert rc == 0
+        assert "best val accuracy" in capsys.readouterr().out
+
+
+class TestSimulateOptimizers:
+    @pytest.mark.parametrize("optimizer", ["adam", "lamb"])
+    def test_fused_optimizer_simulation(self, optimizer, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "1",
+            "--optimizer", optimizer,
+        ])
+        assert rc == 0
+        assert "compute" in capsys.readouterr().out
+
+    def test_fused_adam_with_compressor_overlap(self, capsys):
+        """--fused composes with --compressor on the allreduce-compatible
+        overlap path."""
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "2",
+            "--optimizer", "adam", "--overlap", "--bucket-mb", "0.05",
+            "--compressor", "powersgd",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlap:" in out and "buckets" in out
+
+    def test_loop_adam_simulation(self, capsys):
+        rc = main([
+            "simulate", "--model", "mlp", "--nodes", "2",
+            "--batch-size", "8", "--iterations", "1",
+            "--optimizer", "adam", "--no-fused",
+        ])
+        assert rc == 0
+
 
 class TestSimulateFaults:
     def test_faulty_simulation_prints_summary(self, capsys):

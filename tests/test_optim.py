@@ -5,6 +5,7 @@ import pytest
 
 from repro.nn.module import Parameter
 from repro.optim import (
+    LAMB,
     SGD,
     Adam,
     LinearWarmup,
@@ -99,6 +100,102 @@ class TestAdam:
         p = param_with_grad([1.0], [0.0])
         Adam([p], lr=0.1, weight_decay=1.0).step()
         assert p.data[0] < 1.0
+
+    def test_in_place_step_matches_expression_chain(self):
+        """The out=-form rewrite is bit-exact vs the naive expression
+        chain (same per-element float32 operation order)."""
+        rng = np.random.default_rng(0)
+        shapes = [(17,), (5, 9), (3, 4, 2)]
+        ps = [Parameter(rng.standard_normal(s).astype(np.float32)) for s in shapes]
+        ps[1].no_decay = True
+        opt = Adam(ps, lr=1e-3, weight_decay=1e-2)
+        lr, (b1, b2), eps, wd = opt.lr, opt.betas, opt.eps, opt.weight_decay
+        ref = {id(p): (p.data.copy(), np.zeros_like(p.data), np.zeros_like(p.data)) for p in ps}
+        for t in range(1, 4):
+            for p in ps:
+                p.grad = rng.standard_normal(p.data.shape).astype(np.float32)
+            # Naive chain, exactly as the pre-rewrite loop computed it.
+            for p in ps:
+                w, m, v = ref[id(p)]
+                g = p.grad
+                if not getattr(p, "no_decay", False):
+                    g = g + wd * w
+                m *= b1
+                m += (1 - b1) * g
+                v *= b2
+                v += (1 - b2) * g * g
+                m_hat = m / (1 - b1**t)
+                v_hat = v / (1 - b2**t)
+                w -= lr * m_hat / (np.sqrt(v_hat) + eps)
+            opt.step()
+            for p in ps:
+                assert np.array_equal(p.data, ref[id(p)][0])
+
+    def test_step_allocates_no_new_state_after_first(self):
+        p = param_with_grad([1.0, 2.0], [0.1, 0.2])
+        opt = Adam([p], lr=0.1)
+        opt.step()
+        buffers = {k: id(v) for k, v in opt.state[id(p)].items() if isinstance(v, np.ndarray)}
+        p.grad = np.array([0.3, 0.4], dtype=np.float32)
+        opt.step()
+        after = {k: id(v) for k, v in opt.state[id(p)].items() if isinstance(v, np.ndarray)}
+        assert buffers == after
+
+
+class TestLAMB:
+    def test_trust_ratio_scales_update(self):
+        # Same gradient, weights 10x apart -> updates 10x apart (per-layer
+        # update magnitude tracks the weight magnitude).
+        p_small = param_with_grad([0.1, 0.1], [1.0, 1.0])
+        p_large = param_with_grad([1.0, 1.0], [1.0, 1.0])
+        LAMB([p_small], lr=0.1).step()
+        LAMB([p_large], lr=0.1).step()
+        d_small = float(np.abs(0.1 - p_small.data[0]))
+        d_large = float(np.abs(1.0 - p_large.data[0]))
+        assert d_large == pytest.approx(10 * d_small, rel=1e-4)
+
+    def test_first_step_magnitude_is_lr_times_weight_norm(self):
+        # Step 1: u is elementwise ±1-ish (m̂/√v̂ = sign(g) up to eps), so
+        # ‖Δw‖ ≈ lr·‖w‖ regardless of gradient scale.
+        p = param_with_grad([3.0, 4.0], [1e-3, 1e-3])
+        before = p.data.copy()
+        LAMB([p], lr=0.01).step()
+        assert np.linalg.norm(p.data - before) == pytest.approx(0.01 * 5.0, rel=1e-2)
+
+    def test_zero_weight_falls_back_to_unit_ratio(self):
+        p = param_with_grad([0.0], [1.0])
+        LAMB([p], lr=0.01).step()
+        # ratio 1.0: plain normalized-Adam step of size ~lr.
+        assert np.abs(p.data[0]) == pytest.approx(0.01, rel=1e-2)
+
+    def test_decoupled_weight_decay_enters_update_norm(self):
+        p1 = param_with_grad([1.0], [0.0])
+        p2 = param_with_grad([1.0], [0.0])
+        LAMB([p1], lr=0.1, weight_decay=0.0).step()
+        LAMB([p2], lr=0.1, weight_decay=1.0).step()
+        assert np.abs(p2.data[0] - 1.0) > np.abs(p1.data[0] - 1.0)
+
+    def test_no_decay_flag_respected(self):
+        p = param_with_grad([1.0], [0.0])
+        p.no_decay = True
+        LAMB([p], lr=0.1, weight_decay=1.0).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        LAMB([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_minimizes_quadratic(self):
+        w = Parameter(np.array([5.0], dtype=np.float32))
+        # Trust ratio keeps |Δw| ≈ lr·|w| each step, so the residual floors
+        # at that scale — small lr, more steps.
+        opt = LAMB([w], lr=0.01)
+        for _ in range(300):
+            opt.zero_grad()
+            ((w - 2.0) ** 2).sum().backward()
+            opt.step()
+        assert abs(w.data[0] - 2.0) < 5e-2
 
 
 class TestClipGradNorm:

@@ -24,7 +24,7 @@ from repro.distributed import (
     schedule_overlap,
 )
 from repro.models import MLP
-from repro.optim import SGD, FusedSGD
+from repro.optim import SGD, Adam, FusedAdam, FusedSGD
 from repro.tensor import Tensor
 from repro.utils import set_seed
 
@@ -188,15 +188,18 @@ class TestGradientArrivalRecorder:
             _tensor.GRAD_ARRIVAL_HOOK = None
 
 
-def make_trainer(overlap, faults=None, fused=False, nodes=4, bucket_mb=0.05):
+def make_trainer(overlap, faults=None, fused=False, nodes=4, bucket_mb=0.05, opt_cls=None):
     set_seed(3)
     rng = np.random.default_rng(3)
     model = MLP(3 * 32 * 32, [64, 32], 4)
     ds = make_cifar_like(n=nodes * 8 * 3, num_classes=4, noise=0.2, rng=rng)
     shards = shard_dataset(ds.images, ds.labels, nodes)
     loaders = [DataLoader(x, y, 8) for x, y in shards]
-    opt_cls = FusedSGD if fused else SGD
-    opt = opt_cls(model.parameters(), lr=0.05, momentum=0.9)
+    if opt_cls is None:
+        opt_cls = FusedSGD if fused else SGD
+        opt = opt_cls(model.parameters(), lr=0.05, momentum=0.9)
+    else:
+        opt = opt_cls(model.parameters(), lr=1e-3)
     trainer = DistributedTrainer(
         model,
         opt,
@@ -233,6 +236,32 @@ class TestDistributedOverlap:
         m1, t1, l1 = make_trainer(True, fused=True)
         t0.train_epoch(l0)
         t1.train_epoch(l1)
+        for a, b in zip(m0.parameters(), m1.parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_fused_adam_matches_loop_adam_under_overlap(self):
+        """FusedAdam rides the same step_flat path as FusedSGD: the DDP
+        allreduce gives every parameter a gradient, so fused and loop
+        Adam are bit-identical across the overlap boundary."""
+        m0, t0, l0 = make_trainer(False, opt_cls=Adam)
+        m1, t1, l1 = make_trainer(True, opt_cls=FusedAdam)
+        t0.train_epoch(l0)
+        tl = t1.train_epoch(l1)
+        for a, b in zip(m0.parameters(), m1.parameters()):
+            assert np.array_equal(a.data, b.data)
+        assert tl.overlap["n_buckets"] > 1
+
+    def test_fused_adam_fault_timeline_matches_loop(self):
+        """Swapping the optimizer must not perturb the seeded fault
+        stream: fault draws are keyed to the comm schedule, not the
+        optimizer's update math."""
+        m0, t0, l0 = make_trainer(True, faults=FAULT_SPEC, opt_cls=Adam)
+        m1, t1, l1 = make_trainer(True, faults=FAULT_SPEC, opt_cls=FusedAdam)
+        t0.train_epoch(l0)
+        t1.train_epoch(l1)
+        ev0 = [e.as_dict() for e in t0.faults.events]
+        ev1 = [e.as_dict() for e in t1.faults.events]
+        assert ev0 == ev1 and len(ev0) > 0
         for a, b in zip(m0.parameters(), m1.parameters()):
             assert np.array_equal(a.data, b.data)
 
