@@ -1,6 +1,6 @@
 """Command-line experiment runner: ``python -m repro <command> ...``.
 
-Five subcommands cover the library's main entry points:
+The subcommands cover the library's main entry points:
 
 * ``train``     — train a model on a synthetic task, vanilla or Pufferfish.
 * ``factorize`` — print the factorization report (params, per-layer ranks,
@@ -16,6 +16,10 @@ Five subcommands cover the library's main entry points:
   replicas onto hosts and compares full vs factorized fleet cost,
   ``autoscale`` steps a seeded load scenario through the windowed
   control loop, ``canary`` walks a gated traffic shift full → factorized.
+* ``gateway``   — the live twin of ``serve``: ``gateway serve`` runs a real
+  asyncio HTTP server on localhost driving the same batcher + admission
+  core against real inference, ``gateway loadtest`` replays a seeded
+  arrival trace against it.
 
 Examples::
 
@@ -28,6 +32,8 @@ Examples::
     python -m repro cluster place --model vgg19 --replicas 6 --host-mem-mb 12
     python -m repro cluster autoscale --phases 250x60,450x60,250x60 --policy shed_rate
     python -m repro cluster canary --phases 400x120 --steps 0.05,0.25,0.5,1.0
+    python -m repro gateway serve --model mlp --port 8123 --duration 30
+    python -m repro gateway loadtest --port 8123 --rate 120 --duration 5 --seed 0
 """
 
 from __future__ import annotations
@@ -476,6 +482,186 @@ def cmd_serve(args) -> int:
             )
         print(f"timeline written to {args.timeline}")
     return 0
+
+
+# -- gateway ----------------------------------------------------------------
+
+
+def _gateway_executor(args):
+    """Build the inference executor + the profile admission reasons about."""
+    from .serve import LatencyProfile, default_registry, measure_latency_profile
+
+    profile = None
+    if args.latency_profile:
+        profile = LatencyProfile.load(args.latency_profile)
+    if args.executor == "profile":
+        if profile is None:
+            raise ValueError("--executor profile requires --latency-profile")
+        from .gateway import ProfileExecutor
+
+        return ProfileExecutor(profile)
+    served = default_registry().materialize(
+        args.model,
+        args.variant,
+        num_classes=args.classes,
+        width=args.width,
+        rank_ratio=args.rank_ratio,
+        seed=args.seed,
+        checkpoint=args.checkpoint,
+    )
+    if profile is None:
+        profile = measure_latency_profile(
+            served.model,
+            served.input_spec,
+            meta={"model": args.model, "variant": args.variant},
+        )
+    from .gateway import ModelExecutor
+
+    return ModelExecutor(served, profile)
+
+
+def cmd_gateway_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from . import observability as obs
+    from .serve import BatchPolicy, ServeConfig
+
+    try:
+        config = ServeConfig(
+            slo_s=args.slo_ms / 1e3,
+            policy=BatchPolicy(args.max_batch, args.max_wait_ms / 1e3),
+            replicas=args.replicas,
+        )
+        executor = _gateway_executor(args)
+    except (ValueError, FileNotFoundError) as e:
+        print(f"bad gateway configuration: {e}", file=sys.stderr)
+        return 2
+
+    from .gateway import GatewayServer
+
+    obs.enable_metrics()
+    try:
+        server = GatewayServer(executor, config, host=args.host, port=args.port)
+
+        async def _main():
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-unix loop, or running off the main thread
+            await server.start()
+            desc = executor.describe()
+            print(f"gateway listening on http://{server.host}:{server.port} "
+                  f"({desc['executor']} executor, {args.replicas} replica(s), "
+                  f"batch <= {args.max_batch}, SLO {args.slo_ms:.0f} ms)", flush=True)
+            if args.ready_file:
+                with open(args.ready_file, "w") as f:
+                    f.write(str(server.port))
+            if args.duration is not None:
+                loop.call_later(args.duration, stop.set)
+            try:
+                await stop.wait()
+            finally:
+                await server.stop()
+            return server.report()
+
+        report = asyncio.run(_main())
+    finally:
+        obs.disable_metrics()
+
+    s = report.summary()
+    shed = report.shed_by_reason()
+    print(f"\nserved {s['n_requests']} requests: {s['n_completed']} completed, "
+          f"{s['n_shed_admission']} shed at admission, {s['n_shed_deadline']} past "
+          f"deadline, {shed.get('shutdown', 0)} shed at shutdown")
+    print(f"throughput {s['throughput_rps']:.1f} rps | shed rate {s['shed_rate']:.1%} | "
+          f"p50 {s['p50_ms']:.1f} ms | p95 {s['p95_ms']:.1f} ms")
+    print(f"batches {s['n_batches']} (mean size {s['mean_batch_size']:.1f}) | "
+          f"timeline digest: {s['timeline_digest']}")
+    if args.report:
+        import json as _json
+
+        with open(args.report, "w") as f:
+            _json.dump(
+                {"summary": s, "timeline": report.timeline(),
+                 "batches": [b.as_dict() for b in report.batches]},
+                f, indent=2, sort_keys=True,
+            )
+        print(f"report written to {args.report}")
+    return 0
+
+
+def cmd_gateway_loadtest(args) -> int:
+    import asyncio
+
+    from .serve import ArrivalSpec
+
+    try:
+        spec = ArrivalSpec(
+            rate_rps=args.rate,
+            duration_s=args.duration,
+            process=args.arrival,
+            seed=args.seed,
+            burst_factor=args.burst_factor,
+            burst_prob=args.burst_prob,
+            window_s=args.window_s,
+        )
+        if args.steps < 1:
+            raise ValueError("--steps must be >= 1")
+        if args.workers < 1:
+            raise ValueError("--workers must be >= 1")
+    except ValueError as e:
+        print(f"bad loadtest configuration: {e}", file=sys.stderr)
+        return 2
+
+    from .gateway import LoadClient, build_trace, summarize_records, trace_digest
+
+    trace = build_trace(spec, steps=args.steps, rid_offset=args.rid_offset)
+    print(f"offered trace: {len(trace)} requests over {args.duration:.0f}s "
+          f"({args.arrival}, seed {args.seed}) | digest {trace_digest(trace)}")
+    client = LoadClient(args.host, args.port, timeout_s=args.timeout_s)
+
+    async def _run():
+        if args.mode == "open":
+            return await client.run_open(trace)
+        return await client.run_closed(trace, workers=args.workers)
+
+    try:
+        records = asyncio.run(_run())
+    except ConnectionRefusedError:
+        print(f"no gateway listening on {args.host}:{args.port}", file=sys.stderr)
+        return 1
+
+    s = summarize_records(records, duration_s=args.duration)
+    by = ", ".join(f"{k}={v}" for k, v in s["by_status"].items())
+    print(f"{args.mode}-loop replay: {s['n_completed']}/{s['n_requests']} completed "
+          f"[{by}]")
+    print(f"shed rate {s['shed_rate']:.1%} | throughput {s['throughput_rps']:.1f} rps | "
+          f"p50 {s['p50_ms']:.1f} ms | p95 {s['p95_ms']:.1f} ms | p99 {s['p99_ms']:.1f} ms")
+    if s["streamed"]:
+        print(f"streaming: {s['streamed']} responses streamed, first partial led the "
+              f"final frame by up to {s['stream_lead_ms_max']:.1f} ms")
+    errors = [r for r in records if r.error is not None]
+    if errors:
+        print(f"client errors: {len(errors)} (first: {errors[0].error})", file=sys.stderr)
+    if args.out:
+        import json as _json
+
+        with open(args.out, "w") as f:
+            _json.dump(
+                {"spec": {"rate_rps": args.rate, "duration_s": args.duration,
+                          "process": args.arrival, "seed": args.seed,
+                          "steps": args.steps, "mode": args.mode},
+                 "trace_digest": trace_digest(trace),
+                 "summary": s,
+                 "records": [r.as_dict() for r in records]},
+                f, indent=2, sort_keys=True,
+            )
+        print(f"loadtest results written to {args.out}")
+    return 0 if not errors else 1
 
 
 # -- cluster ----------------------------------------------------------------
@@ -977,6 +1163,83 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--timeline", default=None, metavar="JSON",
                          help="write the full request/batch timeline")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="live asyncio serving gateway (real HTTP on localhost) and its "
+             "seeded load client",
+    )
+    gateway_sub = p_gateway.add_subparsers(dest="gateway_command", required=True)
+
+    p_gserve = gateway_sub.add_parser(
+        "serve",
+        help="run the HTTP gateway: same batcher + admission control as the "
+             "simulator, against real inference",
+    )
+    common(p_gserve, models=SERVE_MODELS)
+    p_gserve.add_argument("--variant", choices=("full", "factorized"), default="full")
+    p_gserve.add_argument("--host", default="127.0.0.1")
+    p_gserve.add_argument("--port", type=int, default=8123,
+                          help="listen port (0 picks a free one)")
+    p_gserve.add_argument("--slo-ms", type=float, default=150.0,
+                          help="per-request latency SLO in milliseconds")
+    p_gserve.add_argument("--max-batch", type=int, default=16,
+                          help="dynamic batcher max_batch_size")
+    p_gserve.add_argument("--max-wait-ms", type=float, default=10.0,
+                          help="dynamic batcher deadline flush")
+    p_gserve.add_argument("--replicas", type=int, default=1,
+                          help="concurrent batch workers")
+    p_gserve.add_argument("--executor", choices=("model", "profile"), default="model",
+                          help="model: real no_grad forwards off-loop; profile: "
+                               "sleep a pinned latency profile (needs "
+                               "--latency-profile; machine-independent)")
+    p_gserve.add_argument("--checkpoint", default=None,
+                          help="load model weights from a .npz checkpoint")
+    p_gserve.add_argument("--latency-profile", default=None, metavar="JSON",
+                          help="saved latency profile for admission estimates "
+                               "(measured from the model when omitted)")
+    p_gserve.add_argument("--duration", type=float, default=None,
+                          help="stop after this many seconds (default: run until "
+                               "SIGINT/SIGTERM)")
+    p_gserve.add_argument("--ready-file", default=None, metavar="PATH",
+                          help="write the bound port here once listening (for "
+                               "scripted readiness checks)")
+    p_gserve.add_argument("--report", default=None, metavar="JSON",
+                          help="write the final serve report")
+    p_gserve.set_defaults(func=cmd_gateway_serve)
+
+    p_gload = gateway_sub.add_parser(
+        "loadtest", help="replay a seeded arrival trace against a running gateway"
+    )
+    p_gload.add_argument("--host", default="127.0.0.1")
+    p_gload.add_argument("--port", type=int, required=True)
+    p_gload.add_argument("--rate", type=float, default=100.0,
+                         help="mean offered load in requests/second")
+    p_gload.add_argument("--duration", type=float, default=5.0,
+                         help="offered-load duration in seconds")
+    p_gload.add_argument("--seed", type=int, default=0,
+                         help="fully determines the offered trace")
+    p_gload.add_argument("--arrival", choices=("poisson", "bursty"), default="poisson")
+    p_gload.add_argument("--burst-factor", type=float, default=4.0)
+    p_gload.add_argument("--burst-prob", type=float, default=0.1)
+    p_gload.add_argument("--window-s", type=float, default=1.0,
+                         help="bursty: burst-decision window length")
+    p_gload.add_argument("--rid-offset", type=int, default=0,
+                         help="first request id (ids are unique per server "
+                              "lifetime; offset a second run against the "
+                              "same server)")
+    p_gload.add_argument("--steps", type=int, default=1,
+                         help=">1 requests streamed multi-step responses")
+    p_gload.add_argument("--mode", choices=("open", "closed"), default="open",
+                         help="open: fire at trace timestamps; closed: fixed "
+                              "worker pool")
+    p_gload.add_argument("--workers", type=int, default=4,
+                         help="closed-loop concurrency")
+    p_gload.add_argument("--timeout-s", type=float, default=30.0,
+                         help="per-request client timeout")
+    p_gload.add_argument("--out", default=None, metavar="JSON",
+                         help="write per-request records + summary")
+    p_gload.set_defaults(func=cmd_gateway_loadtest)
 
     p_cluster = sub.add_parser(
         "cluster",

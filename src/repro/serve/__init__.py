@@ -36,8 +36,15 @@ Typical use::
     print(report.summary())
 """
 
-from .admission import SHED_ADMISSION, SHED_DEADLINE, AdmissionController, AdmissionDecision
+from .admission import (
+    SHED_ADMISSION,
+    SHED_DEADLINE,
+    SHED_SHUTDOWN,
+    AdmissionController,
+    AdmissionDecision,
+)
 from .batcher import BatchPolicy, DynamicBatcher, Request
+from .core import ServingCore
 from .inputs import INPUT_KINDS, InputSpec
 from .latency import DEFAULT_BATCH_SIZES, LatencyProfile, measure_latency_profile
 from .loadgen import ArrivalSpec, generate_arrivals
@@ -59,6 +66,8 @@ __all__ = [
     "AdmissionDecision",
     "SHED_ADMISSION",
     "SHED_DEADLINE",
+    "SHED_SHUTDOWN",
+    "ServingCore",
     "ArrivalSpec",
     "generate_arrivals",
     "BatchPolicy",

@@ -21,11 +21,18 @@ from dataclasses import dataclass
 from .batcher import BatchPolicy, Request
 from .latency import LatencyProfile
 
-__all__ = ["AdmissionDecision", "AdmissionController", "SHED_ADMISSION", "SHED_DEADLINE"]
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionController",
+    "SHED_ADMISSION",
+    "SHED_DEADLINE",
+    "SHED_SHUTDOWN",
+]
 
 # Shed reasons, used as metric labels and timeline statuses.
 SHED_ADMISSION = "admission"  # predicted SLO miss at arrival
 SHED_DEADLINE = "deadline"  # expired in the queue before dispatch
+SHED_SHUTDOWN = "shutdown"  # queue drained by a gateway graceful shutdown
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,157 @@
+"""Clock-agnostic serving core: admission + batching + shed accounting.
+
+One object owns every *policy* decision a serving frontend makes —
+admit or shed at arrival, when the head batch is due, which queued
+requests expired before dispatch — with **time injected at every call**.
+Nothing in this module reads a clock: the discrete-event simulator feeds
+it modeled timestamps, the asyncio gateway feeds it event-loop
+timestamps, and on the same timestamps both drivers make bit-identical
+decisions (a Hypothesis property in ``tests/test_gateway_core.py`` pins
+this).  That seam is what lets the simulator act as the *model* the live
+gateway is validated against.
+
+The core also owns the request/shed metric accounting so the simulator
+and the gateway report through one code path; the metric ``namespace``
+separates their series (``serve.*`` vs ``serve.gateway.*``).
+"""
+
+from __future__ import annotations
+
+from ..observability import metrics as _metrics
+from .admission import SHED_ADMISSION, SHED_DEADLINE, AdmissionController, AdmissionDecision
+from .batcher import DynamicBatcher, Request
+from .latency import LatencyProfile
+
+__all__ = ["ServingCore"]
+
+
+class ServingCore:
+    """Admission + batching policy for one replica pool, clock injected.
+
+    Drivers call, in whatever loop they own:
+
+    * :meth:`offer` at each request's arrival instant — runs admission
+      against the queue depth and the pool's earliest free time, enqueues
+      on admit, accounts the shed on reject;
+    * :meth:`dispatch_due` to learn when the head batch should leave
+      (batch-full: the fill instant; otherwise the oldest request's
+      deadline flush), lower-bounded by the replica's free time;
+    * :meth:`cut_batch` at the dispatch instant — pops the head batch and
+      splits it into live requests and ones whose deadline already
+      passed (accounted as ``shed_deadline``);
+    * :meth:`shed_queue` on shutdown — drains the queue shedding every
+      request with an explicit reason (the gateway's graceful drain).
+
+    ``config`` is a :class:`~repro.serve.simulator.ServeConfig` (duck-typed:
+    anything with ``slo_s``, ``policy`` and ``replicas``).
+    """
+
+    def __init__(self, profile: LatencyProfile, config, pool: str = "pool0",
+                 namespace: str = "serve"):
+        self.profile = profile
+        self.config = config
+        self.pool = pool
+        self.namespace = namespace
+        self.admission = AdmissionController(profile, config.policy)
+        self.batcher = DynamicBatcher(config.policy)
+        self.n_seen = 0
+        self.n_shed = 0
+        self.shed_counts: dict[str, int] = {}
+
+    # -- metric plumbing ------------------------------------------------
+
+    def _counter(self, name: str):
+        return _metrics.REGISTRY.counter(f"{self.namespace}.{name}")
+
+    def shed_gauge(self):
+        """The live per-pool shed-rate gauge (the autoscaler's signal)."""
+        return _metrics.REGISTRY.gauge(f"{self.namespace}.pool.shed_rate").labels(
+            pool=self.pool
+        )
+
+    def _account_shed(self, reason: str) -> None:
+        self.n_shed += 1
+        self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
+        if _metrics.COLLECT:
+            self._counter("shed").labels(reason=reason).inc()
+
+    def _update_shed_gauge(self) -> None:
+        if _metrics.COLLECT and self.n_seen:
+            self.shed_gauge().set(self.n_shed / self.n_seen)
+
+    # -- policy surface -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.batcher)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.batcher)
+
+    def offer(self, request: Request, earliest_free_s: float) -> AdmissionDecision:
+        """Admission at ``request``'s arrival instant.
+
+        ``earliest_free_s`` is the pool's earliest (possibly estimated)
+        replica-free time on the *caller's* clock — the simulator passes
+        the completion heap's head, the gateway its per-replica
+        busy-until estimates.  Enqueues on admit; accounts the shed on
+        reject.  The caller owns the outcome record.
+        """
+        decision = self.admission.assess(request, len(self.batcher), earliest_free_s)
+        self.n_seen += 1
+        if _metrics.COLLECT:
+            self._counter("requests").inc()
+            _metrics.REGISTRY.histogram(f"{self.namespace}.queue_depth").observe(
+                len(self.batcher)
+            )
+        if decision.admitted:
+            self.batcher.enqueue(request)
+            if _metrics.COLLECT:
+                self._counter("admitted").inc()
+        else:
+            self._account_shed(SHED_ADMISSION)
+        self._update_shed_gauge()
+        return decision
+
+    def dispatch_due(self, earliest_free_s: float) -> float | None:
+        """When the head batch should dispatch, or ``None`` on empty queue.
+
+        A full head batch is due the instant its last member arrived; a
+        partial one at the oldest request's ``max_wait_s`` flush.  Either
+        way a batch cannot leave before a replica is free, so the result
+        is lower-bounded by ``earliest_free_s``.
+        """
+        if not len(self.batcher):
+            return None
+        if self.batcher.full:
+            return max(earliest_free_s, self.batcher.fill_time())
+        return max(earliest_free_s, self.batcher.flush_at())
+
+    def cut_batch(self, dispatch_s: float) -> tuple[list[Request], list[Request]]:
+        """Pop the head batch at ``dispatch_s`` → ``(live, expired)``.
+
+        Requests whose deadline passed while queued are accounted as
+        ``shed_deadline`` and returned in ``expired`` so the driver can
+        record outcomes / fail their futures.
+        """
+        live: list[Request] = []
+        expired: list[Request] = []
+        for req in self.batcher.take():
+            if req.deadline_s < dispatch_s:
+                expired.append(req)
+                self._account_shed(SHED_DEADLINE)
+            else:
+                live.append(req)
+        self._update_shed_gauge()
+        return live, expired
+
+    def shed_queue(self, reason: str) -> list[Request]:
+        """Drain the whole queue, shedding every request with ``reason``
+        (graceful-shutdown accounting: nothing disappears silently)."""
+        shed: list[Request] = []
+        while len(self.batcher):
+            shed.extend(self.batcher.take())
+        for _ in shed:
+            self._account_shed(reason)
+        self._update_shed_gauge()
+        return shed

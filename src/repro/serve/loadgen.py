@@ -33,7 +33,9 @@ PROCESSES = ("poisson", "bursty")
 # Stable event-kind ids mixed into the RNG key (same discipline as
 # repro.distributed.faults._KIND_IDS).  Appending new kinds is fine;
 # renumbering existing ones would silently change every seeded scenario.
-_KIND_IDS = {"window": 1}
+# ``payload`` keys the per-request payload seeds drawn by the gateway
+# load-testing client (repro.gateway.client.build_trace).
+_KIND_IDS = {"window": 1, "payload": 2}
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,8 @@ import numpy as np
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
 from .admission import SHED_ADMISSION, SHED_DEADLINE, AdmissionController
-from .batcher import BatchPolicy, DynamicBatcher, Request
+from .batcher import BatchPolicy, Request
+from .core import ServingCore
 from .latency import LatencyProfile
 
 __all__ = ["ServeConfig", "BatchRecord", "RequestOutcome", "ServeReport", "ServeSimulator"]
@@ -131,10 +132,14 @@ class ServeReport:
         return self.n_requests - self.n_completed
 
     def shed_by_reason(self) -> dict[str, int]:
+        # The two simulator reasons are always present (baselines key on
+        # them); extra reasons — e.g. the gateway's shutdown drain — get
+        # counted under their own key rather than raising.
         out = {SHED_ADMISSION: 0, SHED_DEADLINE: 0}
         for o in self.outcomes:
             if o.status != COMPLETED:
-                out[o.status.removeprefix("shed_")] += 1
+                reason = o.status.removeprefix("shed_")
+                out[reason] = out.get(reason, 0) + 1
         return out
 
     @property
@@ -185,13 +190,20 @@ class ServeReport:
 
     def summary(self) -> dict:
         shed = self.shed_by_reason()
-        return {
+        out = {
             "duration_s": self.duration_s,
             "slo_ms": round(self.slo_s * 1e3, 6),
             "n_requests": self.n_requests,
             "n_completed": self.n_completed,
             "n_shed_admission": shed[SHED_ADMISSION],
             "n_shed_deadline": shed[SHED_DEADLINE],
+        }
+        # Extra reasons (gateway shutdown drains) appear only when present,
+        # so simulator summaries keep their exact baseline key set.
+        for reason in sorted(shed):
+            if reason not in (SHED_ADMISSION, SHED_DEADLINE):
+                out[f"n_shed_{reason}"] = shed[reason]
+        out |= {
             "shed_rate": round(self.shed_rate, 6),
             "slo_miss_rate": round(self.slo_miss_rate, 6),
             "utilization": round(self.utilization, 6),
@@ -205,6 +217,7 @@ class ServeReport:
             "queue_depth_max": max(self.queue_depths, default=0),
             "timeline_digest": self.digest(),
         }
+        return out
 
     def timeline(self) -> list[dict]:
         return [o.as_dict() for o in self.outcomes]
@@ -254,7 +267,11 @@ class ServeSimulator:
             raise ValueError("arrival times must be sorted")
         requests = [Request(i, t, t + cfg.slo_s) for i, t in enumerate(arrivals)]
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
-        batcher = DynamicBatcher(cfg.policy)
+        # All policy decisions (admit/shed, batch cut points) and their
+        # request/shed metrics live in the shared core; the simulator owns
+        # the modeled clock, the replica heap, and the outcome records —
+        # exactly the split the live gateway mirrors on the event loop.
+        core = ServingCore(self.profile, cfg, pool=self.pool, namespace="serve")
         # Replica pool as a min-heap of (free_at, replica_id).
         pool = [(0.0, r) for r in range(cfg.replicas)]
         heapq.heapify(pool)
@@ -262,15 +279,11 @@ class ServeSimulator:
         queue_depths: list[int] = []
         collect = _metrics.COLLECT
         last_completion = 0.0
-        # Live per-pool signal: running shed fraction and busy fraction,
-        # updated as the modeled clock advances (not end-of-run-only).
-        shed_gauge = util_gauge = None
-        n_seen = n_shed_live = 0
+        # Live busy-fraction signal, updated as the modeled clock advances
+        # (the core keeps the shed-rate twin up to date itself).
+        util_gauge = None
         busy_s = 0.0
         if collect:
-            shed_gauge = _metrics.REGISTRY.gauge("serve.pool.shed_rate").labels(
-                pool=self.pool
-            )
             util_gauge = _metrics.REGISTRY.gauge("serve.pool.utilization").labels(
                 pool=self.pool
             )
@@ -280,63 +293,28 @@ class ServeSimulator:
 
         i, n = 0, len(requests)
         with _trace.span("serve.run", requests=n, replicas=cfg.replicas):
-            while i < n or len(batcher):
-                if len(batcher):
-                    free_at = pool[0][0]
-                    if batcher.full:
-                        dispatch_s = max(free_at, batcher.fill_time())
-                    else:
-                        dispatch_s = max(free_at, batcher.flush_at())
-                else:
-                    dispatch_s = None
+            while i < n or len(core):
+                dispatch_s = core.dispatch_due(pool[0][0])
                 # Arrivals strictly before the next dispatch are processed
                 # first — the admission estimate must see the queue state
                 # as it stands at their arrival instant.
                 if i < n and (dispatch_s is None or requests[i].arrival_s < dispatch_s):
                     req = requests[i]
                     i += 1
-                    decision = self.admission.assess(req, len(batcher), pool[0][0])
-                    n_seen += 1
-                    if collect:
-                        _metrics.REGISTRY.counter("serve.requests").inc()
-                        _metrics.REGISTRY.histogram("serve.queue_depth").observe(
-                            len(batcher)
-                        )
-                    if decision.admitted:
-                        batcher.enqueue(req)
-                        if collect:
-                            _metrics.REGISTRY.counter("serve.admitted").inc()
-                    else:
+                    decision = core.offer(req, pool[0][0])
+                    if not decision.admitted:
                         outcomes[req.rid] = RequestOutcome(
                             req.rid, req.arrival_s, f"shed_{SHED_ADMISSION}"
                         )
-                        n_shed_live += 1
-                        if collect:
-                            _metrics.REGISTRY.counter("serve.shed").labels(
-                                reason=SHED_ADMISSION
-                            ).inc()
-                    if collect:
-                        shed_gauge.set(n_shed_live / n_seen)
-                    queue_depths.append(len(batcher))
+                    queue_depths.append(len(core))
                     continue
 
                 # Dispatch the head batch at ``dispatch_s``.
-                batch = batcher.take()
-                live: list[Request] = []
-                for req in batch:
-                    if req.deadline_s < dispatch_s:
-                        outcomes[req.rid] = RequestOutcome(
-                            req.rid, req.arrival_s, f"shed_{SHED_DEADLINE}"
-                        )
-                        n_shed_live += 1
-                        if collect:
-                            _metrics.REGISTRY.counter("serve.shed").labels(
-                                reason=SHED_DEADLINE
-                            ).inc()
-                    else:
-                        live.append(req)
-                if collect and n_seen:
-                    shed_gauge.set(n_shed_live / n_seen)
+                live, expired = core.cut_batch(dispatch_s)
+                for req in expired:
+                    outcomes[req.rid] = RequestOutcome(
+                        req.rid, req.arrival_s, f"shed_{SHED_DEADLINE}"
+                    )
                 if not live:
                     continue
                 service = self.profile.latency(len(live))
@@ -393,7 +371,7 @@ class ServeSimulator:
         if collect:
             # Final gauge state equals the run summary exactly (the live
             # updates above converge to these values).
-            shed_gauge.set(report.shed_rate)
+            core.shed_gauge().set(report.shed_rate)
             util_gauge.set(report.utilization)
             _metrics.REGISTRY.gauge("serve.shed_rate").set(report.shed_rate)
             _metrics.REGISTRY.gauge("serve.throughput_rps").set(report.throughput_rps)

@@ -1,5 +1,7 @@
 """CLI smoke tests: every subcommand end-to-end on tiny workloads."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -519,3 +521,88 @@ class TestClusterCommand:
     def test_requires_cluster_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster"])
+
+
+class TestGatewayCommand:
+    """`repro gateway` — the live server + seeded load client, driven the
+    way CI drives them: serve in the background, loadtest against it."""
+
+    PINNED = "benchmarks/profiles/gateway_pinned.json"
+
+    def _serve_in_thread(self, tmp_path, extra=()):
+        import threading
+
+        ready = tmp_path / "gateway.ready"
+        rc_box = {}
+
+        def target():
+            rc_box["rc"] = main([
+                "gateway", "serve", "--executor", "profile",
+                "--latency-profile", self.PINNED, "--port", "0",
+                "--ready-file", str(ready), "--duration", "3.0",
+                "--slo-ms", "400", "--max-batch", "16", "--max-wait-ms", "30",
+                *extra,
+            ])
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert ready.exists(), "gateway never wrote its ready file"
+        return thread, int(ready.read_text()), rc_box
+
+    def test_serve_and_loadtest_roundtrip(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        out_path = tmp_path / "loadtest.json"
+        thread, port, rc_box = self._serve_in_thread(
+            tmp_path, extra=("--report", str(report_path))
+        )
+        rc = main([
+            "gateway", "loadtest", "--port", str(port), "--rate", "60",
+            "--duration", "1", "--seed", "0", "--out", str(out_path),
+        ])
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert rc == 0 and rc_box["rc"] == 0
+        out = capsys.readouterr().out
+        assert "gateway listening on http://127.0.0.1:" in out
+        assert "offered trace:" in out and "digest" in out
+        assert "timeline digest:" in out
+        client = json.loads(out_path.read_text())
+        server = json.loads(report_path.read_text())
+        assert client["summary"]["n_requests"] >= 1
+        assert server["summary"]["n_requests"] == client["summary"]["n_requests"]
+
+    def test_serve_profile_executor_requires_profile(self, capsys):
+        rc = main(["gateway", "serve", "--executor", "profile"])
+        assert rc == 2
+        assert "requires --latency-profile" in capsys.readouterr().err
+
+    def test_serve_bad_config_exits_2(self, capsys):
+        rc = main([
+            "gateway", "serve", "--executor", "profile",
+            "--latency-profile", self.PINNED, "--slo-ms", "-1",
+        ])
+        assert rc == 2
+        assert "bad gateway configuration" in capsys.readouterr().err
+
+    def test_loadtest_bad_config_exits_2(self, capsys):
+        rc = main(["gateway", "loadtest", "--port", "1", "--rate", "-3"])
+        assert rc == 2
+        assert "bad loadtest configuration" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        serve = build_parser().parse_args(["gateway", "serve"])
+        assert serve.executor == "model"
+        assert serve.port == 8123
+        assert serve.duration is None
+        load = build_parser().parse_args(["gateway", "loadtest", "--port", "9"])
+        assert load.mode == "open" and load.steps == 1
+        assert load.arrival == "poisson"
+
+    def test_requires_gateway_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gateway"])

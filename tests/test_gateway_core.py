@@ -1,0 +1,231 @@
+"""The sim/live seam: clock-agnostic core, batcher edges, decision parity.
+
+The load-bearing guarantee of the gateway PR is that the simulator and
+the live server make **bit-identical policy decisions on the same
+injected timestamps** — a Hypothesis property drives random traces
+through both the simulator's event loop and a gateway-style driver over
+the shared :class:`ServingCore` and compares every request's fate.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import observability as obs
+from repro.serve import (
+    SHED_ADMISSION,
+    SHED_DEADLINE,
+    SHED_SHUTDOWN,
+    BatchPolicy,
+    DynamicBatcher,
+    LatencyProfile,
+    Request,
+    ServeConfig,
+    ServeSimulator,
+    ServingCore,
+)
+from repro.gateway.validate import replay_decisions
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.disable()
+    obs.get_registry().reset()
+    yield
+    obs.disable()
+    obs.get_registry().reset()
+
+
+def profile(latencies=(0.01, 0.02, 0.03)):
+    return LatencyProfile(batch_sizes=(1, 4, 8), latency_s=tuple(latencies))
+
+
+class TestBatcherEdges:
+    def test_empty_queue_flush_at_is_inf(self):
+        b = DynamicBatcher(BatchPolicy(4, 0.01))
+        assert b.flush_at() == math.inf
+        assert len(b) == 0 and not b.full
+
+    def test_empty_queue_take_returns_nothing(self):
+        b = DynamicBatcher(BatchPolicy(4, 0.01))
+        assert b.take() == []
+
+    def test_fill_time_raises_until_full(self):
+        b = DynamicBatcher(BatchPolicy(3, 0.01))
+        b.enqueue(Request(0, 0.0, 1.0))
+        b.enqueue(Request(1, 0.0, 1.0))
+        with pytest.raises(ValueError):
+            b.fill_time()
+        b.enqueue(Request(2, 0.0, 1.0))
+        assert b.full and b.fill_time() == 0.0
+
+    def test_simultaneous_arrivals_at_max_batch_boundary(self):
+        """max_batch requests arriving at the same instant fill exactly one
+        batch; the (max_batch+1)-th starts the next with the same stamp."""
+        b = DynamicBatcher(BatchPolicy(4, 0.01))
+        t = 0.125
+        for rid in range(5):
+            b.enqueue(Request(rid, t, t + 1.0))
+        assert b.full
+        assert b.fill_time() == t  # arrival of the 4th member, not the 5th
+        first = b.take()
+        assert [r.rid for r in first] == [0, 1, 2, 3]
+        assert len(b) == 1 and not b.full
+        assert b.flush_at() == t + 0.01
+
+    def test_out_of_order_enqueue_rejected(self):
+        b = DynamicBatcher(BatchPolicy(4, 0.01))
+        b.enqueue(Request(0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            b.enqueue(Request(1, 0.5, 1.5))
+        b.enqueue(Request(2, 1.0, 2.0))  # ties are fine
+
+
+class TestServingCore:
+    def cfg(self, **kw):
+        kw.setdefault("slo_s", 0.1)
+        kw.setdefault("policy", BatchPolicy(4, 0.01))
+        return ServeConfig(**kw)
+
+    def test_dispatch_due_none_on_empty(self):
+        core = ServingCore(profile(), self.cfg())
+        assert core.dispatch_due(0.0) is None
+
+    def test_dispatch_due_full_vs_flush(self):
+        core = ServingCore(profile(), self.cfg())
+        for rid in range(3):
+            core.offer(Request(rid, 0.0, 1.0), earliest_free_s=0.0)
+        # Partial batch: due at the head's flush deadline.
+        assert core.dispatch_due(0.0) == pytest.approx(0.01)
+        core.offer(Request(3, 0.005, 1.005), earliest_free_s=0.0)
+        # Full batch: due the instant the last member arrived.
+        assert core.dispatch_due(0.0) == pytest.approx(0.005)
+        # ...but never before a replica frees up.
+        assert core.dispatch_due(0.02) == pytest.approx(0.02)
+
+    def test_cut_batch_splits_expired(self):
+        core = ServingCore(profile(), self.cfg(slo_s=0.05))
+        core.offer(Request(0, 0.0, 0.05), earliest_free_s=0.0)
+        core.offer(Request(1, 0.04, 0.09), earliest_free_s=0.0)
+        live, expired = core.cut_batch(dispatch_s=0.06)
+        assert [r.rid for r in live] == [1]
+        assert [r.rid for r in expired] == [0]
+        assert core.shed_counts == {SHED_DEADLINE: 1}
+
+    def test_admission_shed_accounted(self):
+        core = ServingCore(profile(), self.cfg(slo_s=0.015))
+        # Replica busy far beyond the deadline: cannot possibly make it.
+        decision = core.offer(Request(0, 0.0, 0.015), earliest_free_s=10.0)
+        assert not decision.admitted
+        assert core.n_seen == 1 and core.n_shed == 1
+        assert core.shed_counts == {SHED_ADMISSION: 1}
+        assert core.queue_depth == 0
+
+    def test_shed_queue_drains_with_reason(self):
+        core = ServingCore(profile(), self.cfg())
+        for rid in range(6):
+            core.offer(Request(rid, 0.0, 1.0), earliest_free_s=0.0)
+        shed = core.shed_queue(SHED_SHUTDOWN)
+        assert [r.rid for r in shed] == list(range(6))
+        assert core.queue_depth == 0
+        assert core.shed_counts == {SHED_SHUTDOWN: 6}
+
+
+class TestReportShedReasons:
+    def test_shed_by_reason_tolerates_shutdown(self):
+        from repro.serve.simulator import RequestOutcome, ServeReport
+
+        report = ServeReport(
+            duration_s=1.0,
+            slo_s=0.1,
+            outcomes=[
+                RequestOutcome(0, 0.0, "shed_admission"),
+                RequestOutcome(1, 0.1, "shed_shutdown"),
+                RequestOutcome(2, 0.2, "shed_shutdown"),
+            ],
+            batches=[],
+            queue_depths=[],
+        )
+        shed = report.shed_by_reason()
+        assert shed == {"admission": 1, "deadline": 0, "shutdown": 2}
+        summary = report.summary()
+        assert summary["n_shed_shutdown"] == 2
+
+    def test_sim_summary_has_no_extra_shed_keys(self):
+        """Simulator runs never produce non-standard reasons, so their
+        summaries keep the exact key set the committed baselines pin."""
+        prof = LatencyProfile((1, 8), (0.01, 0.01))
+        report = ServeSimulator(prof, ServeConfig(slo_s=0.05)).run([0.0, 0.001, 0.002])
+        assert set(k for k in report.summary() if k.startswith("n_shed_")) == {
+            "n_shed_admission",
+            "n_shed_deadline",
+        }
+
+
+# -- the seam property ---------------------------------------------------
+
+gaps = st.lists(st.floats(min_value=0.0, max_value=0.05), min_size=0, max_size=60)
+latency_steps = st.tuples(
+    st.floats(min_value=0.001, max_value=0.02),
+    st.floats(min_value=0.0, max_value=0.02),
+    st.floats(min_value=0.0, max_value=0.02),
+)
+
+
+class TestDecisionParity:
+    @given(
+        gaps=gaps,
+        lat=latency_steps,
+        slo=st.floats(min_value=0.005, max_value=0.3),
+        max_batch=st.integers(min_value=1, max_value=8),
+        max_wait=st.floats(min_value=0.0, max_value=0.03),
+        replicas=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gateway_path_bit_identical_to_simulator(
+        self, gaps, lat, slo, max_batch, max_wait, replicas
+    ):
+        """The gateway-style driver (offer / dispatch_due / cut_batch over a
+        busy-until list) and the simulator's event loop must agree on every
+        request's fate given the same injected timestamps."""
+        arrivals = []
+        t = 0.0
+        for g in gaps:
+            t += g
+            arrivals.append(t)
+        prof = LatencyProfile(
+            batch_sizes=(1, 4, 8),
+            latency_s=(lat[0], lat[0] + lat[1], lat[0] + lat[1] + lat[2] + 1e-6),
+        )
+        config = ServeConfig(
+            slo_s=slo, policy=BatchPolicy(max_batch, max_wait), replicas=replicas
+        )
+        sim_report = ServeSimulator(prof, config).run(arrivals)
+        sim_statuses = [o.status for o in sim_report.outcomes]
+        assert replay_decisions(prof, config, arrivals) == sim_statuses
+
+    def test_parity_on_seeded_trace(self):
+        """The committed twin scenario's trace, end to end."""
+        from repro.gateway.client import build_trace
+        from repro.serve import ArrivalSpec
+
+        spec = ArrivalSpec(
+            rate_rps=90,
+            duration_s=4.0,
+            process="bursty",
+            seed=11,
+            burst_factor=5.0,
+            burst_prob=0.2,
+            window_s=0.5,
+        )
+        prof = LatencyProfile((1, 4, 8, 16), (0.04, 0.06, 0.08, 0.12))
+        config = ServeConfig(slo_s=0.4, policy=BatchPolicy(16, 0.03), replicas=1)
+        trace = build_trace(spec)
+        arrivals = [tr.at_s for tr in trace]
+        sim_report = ServeSimulator(prof, config).run(arrivals)
+        assert replay_decisions(prof, config, arrivals) == [
+            o.status for o in sim_report.outcomes
+        ]
+        assert sim_report.shed_rate > 0.1  # the scenario genuinely sheds
