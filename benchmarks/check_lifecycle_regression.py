@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""CI regression gate for the lifecycle pipeline benchmark.
+
+Compares a fresh ``BENCH_lifecycle.json`` against the committed baseline
+(``benchmarks/baselines/lifecycle_baseline.json``).  Every scenario is a
+pure function of ``(seed, config)`` — spectra are rounded before
+digesting, wall-clock quantities never enter a digest, and the canary
+runs on pinned latency profiles — so the comparison is an exact
+deep-diff: warm-up spectra digests, per-layer rank maps, promotion
+decisions and the end-to-end timeline digest must all reproduce bit for
+bit, and any drift is a behavior change in the monitor, scheduler,
+trainer, promotion registry or deployment driver, never noise.
+
+On top of the diff, the gate re-asserts the headline claims from the
+current artifact:
+
+* pipeline — the allocator-chosen per-layer map differs from the paper's
+  global-0.25 map on at least one layer, at least one online
+  re-factorization fires, and params/MACs shrink;
+* ddp — every re-factorization under simulated DDP is charged a
+  non-zero full-resync broadcast;
+* promotion — the promoted artifact round-trips ranks and weights
+  bit-exactly into the serving registry;
+* deployment — the healthy rollout promotes at 100%, the injected
+  regression rolls back to 0%.
+
+Usage::
+
+    python benchmarks/check_lifecycle_regression.py \
+        [--current BENCH_lifecycle.json] \
+        [--baseline benchmarks/baselines/lifecycle_baseline.json]
+"""
+
+from __future__ import annotations
+
+from gatelib import DeepExact, Gate, run_gate
+
+
+def headline(current: dict) -> list[str]:
+    failures: list[str] = []
+    scenarios = current.get("scenarios", {})
+
+    pipeline = scenarios.get("pipeline")
+    if pipeline is None:
+        failures.append("pipeline: scenario missing from current run")
+    else:
+        if pipeline["n_layers_differ_from_global"] < 1:
+            failures.append(
+                "pipeline: per-layer rank map identical to the global-ratio map"
+            )
+        if pipeline["n_refactorizations"] < 1:
+            failures.append("pipeline: no online re-factorization fired")
+        if pipeline["param_reduction"] <= 1.0:
+            failures.append(
+                f"pipeline: param reduction {pipeline['param_reduction']} "
+                "not above 1.0"
+            )
+
+    ddp = scenarios.get("pipeline_ddp")
+    if ddp is None:
+        failures.append("pipeline_ddp: scenario missing from current run")
+    else:
+        resyncs = [e for e in ddp["events"] if e["event"] == "refactorize"]
+        if not resyncs:
+            failures.append("pipeline_ddp: no re-factorization fired under DDP")
+        for e in resyncs:
+            if e["resync_bytes"] <= 0 or e["resync_seconds"] <= 0:
+                failures.append(
+                    f"pipeline_ddp: epoch {e['epoch']} re-factorization "
+                    "charged no resync broadcast"
+                )
+
+    promo = scenarios.get("promotion_roundtrip")
+    if promo is None:
+        failures.append("promotion_roundtrip: scenario missing from current run")
+    else:
+        if not promo["ranks_exact"]:
+            failures.append("promotion_roundtrip: served ranks differ from run")
+        if not promo["weights_exact"]:
+            failures.append(
+                "promotion_roundtrip: promoted weights did not round-trip"
+            )
+        if promo["versions"] != [1, 2]:
+            failures.append(
+                f"promotion_roundtrip: versions {promo['versions']}, "
+                "expected dense [1, 2]"
+            )
+
+    deploy = scenarios.get("deployment")
+    if deploy is None:
+        failures.append("deployment: scenario missing from current run")
+    else:
+        if deploy["healthy"]["status"] != "promoted":
+            failures.append(
+                f"deployment: healthy run {deploy['healthy']['status']!r}, "
+                "expected promoted"
+            )
+        if deploy["degraded"]["status"] != "rolled_back":
+            failures.append(
+                f"deployment: degraded run {deploy['degraded']['status']!r}, "
+                "expected rolled_back"
+            )
+    return failures
+
+
+GATE = Gate(
+    name="lifecycle",
+    default_current="BENCH_lifecycle.json",
+    default_baseline="benchmarks/baselines/lifecycle_baseline.json",
+    rules=(DeepExact(),),
+    headline=headline,
+    ok_line=lambda n, t: (
+        f"lifecycle regression gate: {n} baseline scenarios OK "
+        "(seeded end-to-end deterministic, exact diff)"
+    ),
+    description=__doc__.splitlines()[0],
+)
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_gate(GATE))

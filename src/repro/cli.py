@@ -20,6 +20,11 @@ The subcommands cover the library's main entry points:
   asyncio HTTP server on localhost driving the same batcher + admission
   core against real inference, ``gateway loadtest`` replays a seeded
   arrival trace against it.
+* ``lifecycle`` — the train → factorize → deploy pipeline: ``run`` trains
+  with spectrum monitoring and online re-factorization, ``promote``
+  versions the checkpoint with lineage into a promotion registry,
+  ``deploy`` stages it through the cluster canary (optionally booting
+  the gateway on the promoted artifact).
 
 Examples::
 
@@ -34,6 +39,10 @@ Examples::
     python -m repro cluster canary --phases 400x120 --steps 0.05,0.25,0.5,1.0
     python -m repro gateway serve --model mlp --port 8123 --duration 30
     python -m repro gateway loadtest --port 8123 --rate 120 --duration 5 --seed 0
+    python -m repro lifecycle run --model vgg11 --seed 7 --energy-threshold 0.75 \\
+        --max-ratio 0.5 --checkpoint run.npz --out run.json
+    python -m repro lifecycle promote --run run.json --registry-dir registry/
+    python -m repro lifecycle deploy --registry-dir registry/ --name vgg11
 """
 
 from __future__ import annotations
@@ -431,6 +440,10 @@ def cmd_serve(args) -> int:
             f = served.factorization
             print(f"factorized: {f['params_before']:,} -> {f['params_after']:,} params "
                   f"({f['compression']:.2f}x), {f['n_factorized']} low-rank layers")
+        if served.lineage:
+            li = served.lineage
+            print(f"lineage: {li.get('name')} v{li.get('version')} from run "
+                  f"{li.get('parent_run')} (rank map {li.get('rank_map_digest')})")
 
         if args.latency_profile:
             profile = LatencyProfile.load(args.latency_profile)
@@ -900,6 +913,235 @@ def cmd_cluster_canary(args) -> int:
     return 0 if report.status == "promoted" or args.allow_rollback else 1
 
 
+# -- lifecycle --------------------------------------------------------------
+
+
+def cmd_lifecycle_run(args) -> int:
+    import json as _json
+
+    from . import observability as obs
+    from .lifecycle import (
+        LifecycleConfig,
+        LifecycleConfigError,
+        PromotionRegistry,
+        RankPolicy,
+        run_lifecycle,
+    )
+    from .utils import save_checkpoint
+
+    try:
+        config = LifecycleConfig(
+            model=args.model,
+            num_classes=args.classes,
+            width=args.width,
+            seed=args.seed,
+            train_samples=args.samples,
+            val_samples=args.val_samples,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            momentum=args.momentum,
+            warmup_epochs=args.warmup_epochs,
+            total_epochs=args.epochs,
+            recheck_every=args.recheck_every,
+            rank_ratio=args.rank_ratio,
+            policy=RankPolicy(
+                energy_threshold=args.energy_threshold,
+                min_rank=args.min_rank,
+                max_ratio=args.max_ratio,
+                hysteresis=args.hysteresis,
+            ),
+            workers=args.workers,
+        )
+    except LifecycleConfigError as e:
+        print(f"bad lifecycle configuration: {e}", file=sys.stderr)
+        return 2
+
+    obs.enable_metrics()
+    try:
+        run = run_lifecycle(config)
+    finally:
+        obs.disable_metrics()
+
+    s = run.summary()
+    print(f"lifecycle run {run.run_id}: {args.model} (width {args.width}, "
+          f"seed {args.seed}, {config.workers} worker(s))")
+    for event in s["events"]:
+        kind = event["event"]
+        if kind == "snapshot":
+            print(f"  epoch {event['epoch']:>2} [{event['phase']}] snapshot "
+                  f"{event['digest']} ({event['n_layers']} layers)")
+        elif kind == "retarget":
+            print(f"  epoch {event['epoch']:>2} [warmup] retarget: "
+                  f"{len(event['drifted'])} layer(s) drifted")
+        elif kind == "factorize":
+            print(f"  epoch {event['epoch']:>2} factorize: {event['replaced']} layers, "
+                  f"{event['params_before']:,} -> {event['params_after']:,} params")
+        elif kind == "refactorize":
+            print(f"  epoch {event['epoch']:>2} REFACTORIZE: {len(event['drifted'])} "
+                  f"layer(s) drifted | {event['params_after']:,} params | "
+                  f"resync {event['resync_bytes']:,} B "
+                  f"({event['resync_seconds'] * 1e3:.2f} ms)")
+        elif kind == "final_eval":
+            print(f"  final val loss {event['val_loss']:.4f} | "
+                  f"val metric {event['val_metric']:.4f}")
+    print(f"rank map: {len(run.rank_map)} layers "
+          f"({s['n_layers_differ_from_global']} differ from the global "
+          f"{args.rank_ratio} map) | digest {s['rank_map_digest']}")
+    print(f"params {s['params_full']:,} -> {s['params_factorized']:,} "
+          f"({s['param_reduction']:.2f}x) | MACs {s['macs_full']:,} -> "
+          f"{s['macs_factorized']:,} ({s['mac_reduction']:.2f}x)")
+    print(f"spectra digest: {s['spectra_digest']}")
+    print(f"timeline digest: {s['timeline_digest']}")
+
+    if args.checkpoint:
+        save_checkpoint(args.checkpoint, run.model, lifecycle=run.lineage())
+        print(f"checkpoint written to {args.checkpoint}")
+    if args.out:
+        with open(args.out, "w") as f:
+            _json.dump(
+                {"summary": s, "lineage": run.lineage(), "checkpoint": args.checkpoint},
+                f, indent=2, sort_keys=True,
+            )
+        print(f"run record written to {args.out}")
+    if args.registry_dir:
+        record = PromotionRegistry(args.registry_dir).promote(run, name=args.name)
+        print(f"promoted to {args.registry_dir}: {record.name} v{record.version} "
+              f"({record.path})")
+    return 0
+
+
+def cmd_lifecycle_promote(args) -> int:
+    import json as _json
+
+    from .lifecycle import PromotionError, PromotionRegistry
+
+    try:
+        with open(args.run) as f:
+            record_file = _json.load(f)
+    except (OSError, _json.JSONDecodeError) as e:
+        print(f"bad lifecycle configuration: cannot read run record: {e}",
+              file=sys.stderr)
+        return 2
+    checkpoint = args.checkpoint or record_file.get("checkpoint")
+    lineage = record_file.get("lineage", {})
+    if not checkpoint:
+        print("bad lifecycle configuration: run record has no checkpoint; "
+              "re-run `lifecycle run` with --checkpoint or pass --checkpoint",
+              file=sys.stderr)
+        return 2
+    try:
+        record = PromotionRegistry(args.registry_dir).promote_artifact(
+            checkpoint, lineage, name=args.name
+        )
+    except PromotionError as e:
+        print(f"promotion failed: {e}", file=sys.stderr)
+        return 2
+    print(f"promoted {checkpoint} -> {record.path}")
+    print(f"  {record.name} v{record.version} | parent run "
+          f"{record.lineage.get('parent_run')} | rank map "
+          f"{record.lineage.get('rank_map_digest')} | spectra "
+          f"{record.lineage.get('spectra_digest')}")
+    return 0
+
+
+def cmd_lifecycle_deploy(args) -> int:
+    import json as _json
+
+    from . import observability as obs
+    from .cluster import CanaryConfig, ClusterConfigError, parse_phases
+    from .lifecycle import (
+        DeploymentConfig,
+        PromotionError,
+        PromotionRegistry,
+        run_deployment,
+    )
+    from .serve import BatchPolicy, LatencyProfile
+
+    registry = PromotionRegistry(args.registry_dir)
+    try:
+        if args.version is not None:
+            record = registry.get(args.name, args.version)
+        else:
+            record = registry.latest(args.name)
+        steps = tuple(float(x) for x in args.steps.split(","))
+        config = DeploymentConfig(
+            phases=parse_phases(args.phases),
+            window_s=args.window,
+            seed=args.seed,
+            canary=CanaryConfig(
+                steps=steps,
+                windows_per_step=args.windows_per_step,
+                shed_delta_tolerance=args.tolerance,
+                slo_s=args.slo_ms / 1e3,
+                batch=BatchPolicy(args.max_batch, args.max_wait_ms / 1e3),
+            ),
+            degrade_factor=args.degrade_factor,
+        )
+        baseline = (
+            LatencyProfile.load(args.profile_full) if args.profile_full else None
+        )
+        canary = (
+            LatencyProfile.load(args.profile_factorized)
+            if args.profile_factorized
+            else None
+        )
+    except (PromotionError, ClusterConfigError, ValueError, OSError) as e:
+        print(f"bad lifecycle configuration: {e}", file=sys.stderr)
+        return 2
+
+    obs.enable_metrics()
+    try:
+        try:
+            report = run_deployment(record, config, baseline, canary)
+        except ClusterConfigError as e:
+            print(f"bad lifecycle configuration: {e}", file=sys.stderr)
+            return 2
+    finally:
+        obs.disable_metrics()
+
+    li = record.lineage
+    print(f"deploying {record.name} v{record.version} "
+          f"(parent run {li.get('parent_run')}, rank map "
+          f"{li.get('rank_map_digest')}) via canary ({args.phases}, seed {args.seed})")
+    for rec in report.steps:
+        verdict = "advance" if rec["advanced"] else "ROLLBACK"
+        print(f"  step {rec['step']}: {rec['fraction']:>5.0%} canary | "
+              f"baseline shed {rec['baseline_shed']:.2%} | "
+              f"canary shed {rec['canary_shed']:.2%} | "
+              f"delta {rec['shed_delta']:+.2%} -> {verdict}")
+    print(f"status: {report.status} (final fraction {report.final_fraction:.0%})")
+    print(f"deploy digest: {report.digest()}")
+    if args.out:
+        with open(args.out, "w") as f:
+            _json.dump(report.summary(), f, indent=2, sort_keys=True)
+        print(f"deployment report written to {args.out}")
+
+    if report.promoted and args.gateway:
+        print(f"\nbooting gateway on the promoted checkpoint {record.path}")
+        gw = argparse.Namespace(
+            model=li.get("model", record.name),
+            variant="factorized",
+            classes=int(li.get("num_classes", 4)),
+            width=float(li.get("width", 0.25)),
+            rank_ratio=0.25,
+            seed=int(li.get("seed", 0)),
+            checkpoint=record.path,
+            executor="model",
+            latency_profile=None,
+            host=args.host,
+            port=args.port,
+            slo_ms=args.slo_ms,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            replicas=args.replicas,
+            duration=args.duration,
+            ready_file=args.ready_file,
+            report=None,
+        )
+        return cmd_gateway_serve(gw)
+    return 0 if report.promoted or args.allow_rollback else 1
+
+
 def _profile_quickstart(args):
     """The quickstart example's Pufferfish run, scaled by the CLI args."""
     from . import nn
@@ -1329,6 +1571,110 @@ def build_parser() -> argparse.ArgumentParser:
     p_canary.add_argument("--allow-rollback", action="store_true",
                           help="exit 0 even when the rollout rolls back")
     p_canary.set_defaults(func=cmd_cluster_canary)
+
+    p_lifecycle = sub.add_parser(
+        "lifecycle",
+        help="train -> factorize -> deploy pipeline: online re-factorization, "
+             "checkpoint promotion, canary deployment",
+    )
+    lifecycle_sub = p_lifecycle.add_subparsers(dest="lifecycle_command", required=True)
+
+    p_lrun = lifecycle_sub.add_parser(
+        "run",
+        help="seeded pipeline: warm-up with spectrum monitoring, per-layer "
+             "factorization, low-rank fine-tune with online re-factorization",
+    )
+    common(p_lrun)
+    p_lrun.add_argument("--samples", type=int, default=96,
+                        help="synthetic training examples")
+    p_lrun.add_argument("--val-samples", type=int, default=32)
+    p_lrun.add_argument("--batch-size", type=int, default=32)
+    p_lrun.add_argument("--lr", type=float, default=0.05)
+    p_lrun.add_argument("--momentum", type=float, default=0.9)
+    p_lrun.add_argument("--warmup-epochs", type=int, default=2,
+                        help="full-rank epochs before factorization")
+    p_lrun.add_argument("--epochs", type=int, default=4,
+                        help="total epochs (warm-up + low-rank fine-tune)")
+    p_lrun.add_argument("--recheck-every", type=int, default=1,
+                        help="low-rank-phase spectra recheck cadence in epochs")
+    p_lrun.add_argument("--energy-threshold", type=float, default=0.9,
+                        help="retained spectral energy targeted per layer")
+    p_lrun.add_argument("--min-rank", type=int, default=1)
+    p_lrun.add_argument("--max-ratio", type=float, default=1.0,
+                        help="per-layer rank cap as a fraction of full rank")
+    p_lrun.add_argument("--hysteresis", type=int, default=2,
+                        help="rank drift tolerated before re-factorizing")
+    p_lrun.add_argument("--workers", type=int, default=1,
+                        help=">1 trains under simulated DDP with full-resync "
+                             "accounting on every re-factorization")
+    p_lrun.add_argument("--checkpoint", default=None, metavar="NPZ",
+                        help="save the trained hybrid + lineage metadata here")
+    p_lrun.add_argument("--out", default=None, metavar="JSON",
+                        help="write the run record (summary + lineage) for "
+                             "`lifecycle promote`")
+    p_lrun.add_argument("--registry-dir", default=None, metavar="DIR",
+                        help="also promote the run into this registry")
+    p_lrun.add_argument("--name", default=None,
+                        help="registry name for --registry-dir (default: model)")
+    p_lrun.set_defaults(func=cmd_lifecycle_run)
+
+    p_lpromote = lifecycle_sub.add_parser(
+        "promote",
+        help="version a run's checkpoint into the promotion registry with lineage",
+    )
+    p_lpromote.add_argument("--run", required=True, metavar="JSON",
+                            help="run record written by `lifecycle run --out`")
+    p_lpromote.add_argument("--registry-dir", required=True, metavar="DIR")
+    p_lpromote.add_argument("--checkpoint", default=None, metavar="NPZ",
+                            help="override the checkpoint path in the run record")
+    p_lpromote.add_argument("--name", default=None,
+                            help="registry name (default: the lineage's model)")
+    p_lpromote.set_defaults(func=cmd_lifecycle_promote)
+
+    p_ldeploy = lifecycle_sub.add_parser(
+        "deploy",
+        help="stage a promoted checkpoint through the cluster canary "
+             "(full -> factorized hot-swap with rollback)",
+    )
+    p_ldeploy.add_argument("--registry-dir", required=True, metavar="DIR")
+    p_ldeploy.add_argument("--name", required=True,
+                           help="promoted checkpoint name in the registry")
+    p_ldeploy.add_argument("--version", type=int, default=None,
+                           help="checkpoint version (default: latest)")
+    p_ldeploy.add_argument("--phases", default="220x120", metavar="RATExDUR,...")
+    p_ldeploy.add_argument("--window", type=float, default=10.0,
+                           help="canary evaluation window in modeled seconds")
+    p_ldeploy.add_argument("--seed", type=int, default=0)
+    p_ldeploy.add_argument("--steps", default="0.05,0.25,0.5,1.0",
+                           help="canary traffic fractions, comma-separated")
+    p_ldeploy.add_argument("--windows-per-step", type=int, default=3)
+    p_ldeploy.add_argument("--tolerance", type=float, default=0.01,
+                           help="max allowed canary-minus-baseline shed delta")
+    p_ldeploy.add_argument("--slo-ms", type=float, default=150.0)
+    p_ldeploy.add_argument("--max-batch", type=int, default=16)
+    p_ldeploy.add_argument("--max-wait-ms", type=float, default=10.0)
+    p_ldeploy.add_argument("--degrade-factor", type=float, default=1.0,
+                           help="scale canary latencies to inject a regression "
+                                "(exercises the rollback path)")
+    p_ldeploy.add_argument("--profile-full", default=None, metavar="JSON",
+                           help="baseline latency profile (default: pinned)")
+    p_ldeploy.add_argument("--profile-factorized", default=None, metavar="JSON",
+                           help="canary latency profile (default: pinned)")
+    p_ldeploy.add_argument("--allow-rollback", action="store_true",
+                           help="exit 0 even when the rollout rolls back")
+    p_ldeploy.add_argument("--out", default=None, metavar="JSON",
+                           help="write the deployment report")
+    p_ldeploy.add_argument("--gateway", action="store_true",
+                           help="after a promoted verdict, boot the HTTP gateway "
+                                "on the promoted checkpoint")
+    p_ldeploy.add_argument("--host", default="127.0.0.1")
+    p_ldeploy.add_argument("--port", type=int, default=8123,
+                           help="gateway listen port (0 picks a free one)")
+    p_ldeploy.add_argument("--replicas", type=int, default=1)
+    p_ldeploy.add_argument("--duration", type=float, default=None,
+                           help="gateway: stop after this many seconds")
+    p_ldeploy.add_argument("--ready-file", default=None, metavar="PATH")
+    p_ldeploy.set_defaults(func=cmd_lifecycle_deploy)
     return parser
 
 

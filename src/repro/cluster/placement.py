@@ -176,10 +176,18 @@ def next_fit(replicas: list[ReplicaSpec], host_spec: HostSpec) -> PlacementResul
     return result
 
 
+def _ceil_volume(ratio: float) -> int:
+    # Summation error can push an exactly-integral ratio a few ulps above
+    # the integer (n replicas that exactly saturate n hosts), which would
+    # inflate the "lower" bound past a feasible packing; shave a relative
+    # epsilon before taking the ceiling.
+    return math.ceil(ratio - 1e-9 * max(1.0, abs(ratio)))
+
+
 def lower_bound_hosts(replicas: list[ReplicaSpec], host_spec: HostSpec) -> int:
     """Volume lower bound on any feasible packing (memory and compute)."""
     if not replicas:
         return 0
     mem = sum(r.mem_bytes for r in replicas) / host_spec.mem_bytes
     rps = sum(r.capacity_rps for r in replicas) / host_spec.compute_rps
-    return max(math.ceil(mem), math.ceil(rps), 1)
+    return max(_ceil_volume(mem), _ceil_volume(rps), 1)

@@ -16,6 +16,7 @@ from .hybrid import (
     FactorizationConfig,
     FactorizationReport,
     factorizable_leaves,
+    eligible_paths,
     build_hybrid,
 )
 from .trainer import EpochStats, Trainer, PufferfishTrainer, classification_batch
@@ -57,6 +58,7 @@ __all__ = [
     "FactorizationConfig",
     "FactorizationReport",
     "factorizable_leaves",
+    "eligible_paths",
     "build_hybrid",
     "EpochStats",
     "Trainer",

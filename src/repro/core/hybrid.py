@@ -28,7 +28,13 @@ from .factorize import (
     factorize_lstm_layer,
 )
 
-__all__ = ["FactorizationConfig", "FactorizationReport", "factorizable_leaves", "build_hybrid"]
+__all__ = [
+    "FactorizationConfig",
+    "FactorizationReport",
+    "factorizable_leaves",
+    "eligible_paths",
+    "build_hybrid",
+]
 
 _FACTORIZABLE = (Conv2d, Linear, LSTMLayer)
 
@@ -113,6 +119,31 @@ def _factorize(layer: Module, rank: int) -> Module:
     raise TypeError(f"not factorizable: {type(layer).__name__}")
 
 
+def eligible_paths(model: Module, config: FactorizationConfig) -> list[str]:
+    """Leaf paths that ``build_hybrid`` would factorize under ``config``.
+
+    The single source of truth for the keep/replace decision — rank
+    schedulers (``repro.lifecycle``) use it to know which measured spectra
+    can actually drive a re-factorization.
+    """
+    leaves = factorizable_leaves(model)
+    convs = [p for p, m in leaves if isinstance(m, Conv2d)]
+    fcs = [p for p, m in leaves if isinstance(m, Linear)]
+    first_conv = convs[0] if convs else None
+    last_fc = fcs[-1] if fcs else None
+    out = []
+    for idx, (path, _layer) in enumerate(leaves):
+        keep = (
+            idx < config.first_lowrank_index
+            or (config.skip_first_conv and path == first_conv)
+            or (config.skip_last_fc and path == last_fc)
+            or any(path.startswith(pref) for pref in config.full_rank_prefixes)
+        )
+        if not keep:
+            out.append(path)
+    return out
+
+
 def build_hybrid(
     model: Module, config: FactorizationConfig
 ) -> tuple[Module, FactorizationReport]:
@@ -127,20 +158,11 @@ def build_hybrid(
     hybrid = copy.deepcopy(model)
 
     leaves = factorizable_leaves(hybrid)
-    convs = [p for p, m in leaves if isinstance(m, Conv2d)]
-    fcs = [p for p, m in leaves if isinstance(m, Linear)]
-    first_conv = convs[0] if convs else None
-    last_fc = fcs[-1] if fcs else None
+    factorize = set(eligible_paths(hybrid, config))
 
     t0 = time.perf_counter()
-    for idx, (path, layer) in enumerate(leaves):
-        keep = (
-            idx < config.first_lowrank_index
-            or (config.skip_first_conv and path == first_conv)
-            or (config.skip_last_fc and path == last_fc)
-            or any(path.startswith(pref) for pref in config.full_rank_prefixes)
-        )
-        if keep:
+    for path, layer in leaves:
+        if path not in factorize:
             report.kept.append(path)
             continue
         rank = config.rank_overrides.get(

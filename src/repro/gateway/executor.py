@@ -114,7 +114,7 @@ class ModelExecutor:
         return await loop.run_in_executor(self._thread, self._forward, payloads, step)
 
     def describe(self) -> dict:
-        return {
+        out = {
             "executor": self.kind,
             "model": self.served.name,
             "variant": self.served.variant,
@@ -122,6 +122,11 @@ class ModelExecutor:
             "macs": int(self.served.macs),
             "input_spec": self.spec.to_dict(),
         }
+        if self.served.lineage:
+            # Promoted lifecycle artifact: expose checkpoint version,
+            # parent run and rank-map digest on GET /v1/model.
+            out["lineage"] = dict(self.served.lineage)
+        return out
 
     def close(self) -> None:
         self._thread.shutdown(wait=False)

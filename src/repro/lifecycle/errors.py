@@ -1,0 +1,17 @@
+"""Lifecycle-specific exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["LifecycleError", "LifecycleConfigError", "PromotionError"]
+
+
+class LifecycleError(Exception):
+    """Base class for lifecycle failures."""
+
+
+class LifecycleConfigError(LifecycleError, ValueError):
+    """A lifecycle config that cannot produce a valid run."""
+
+
+class PromotionError(LifecycleError):
+    """Registry promotion or lookup failed (missing run, bad version, ...)."""

@@ -1,0 +1,140 @@
+"""Online rank scheduling: energy-rank proposals under a hysteresis band.
+
+Pufferfish picks one global rank ratio, once, at the warm-up boundary; the
+paper flags per-layer selection as future work.  The scheduler closes that
+gap for the lifecycle pipeline: every :class:`~.monitor.SpectrumSnapshot`
+is turned into a per-layer rank proposal (smallest rank retaining the
+policy's target spectral energy, clipped to ``[min_rank, max_ratio·full]``)
+and judged against the currently deployed rank map.
+
+Re-factorizing is not free — it pays an SVD, resets optimizer state, and
+(under data parallelism) requires an AB-Training-style *full resync* so
+every worker adopts bit-identical factors.  The scheduler therefore only
+triggers when some layer's energy rank drifts past a hysteresis band of
+``hysteresis`` rank units; small spectral wobble holds the current map.
+When it does trigger, the *entire* proposed map is adopted at once (never
+a per-layer patch), which is exactly the full-resync discipline: one
+broadcast of freshly factorized weights leaves all replicas consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..observability import metrics as _metrics
+from .errors import LifecycleConfigError
+from .monitor import SpectrumSnapshot
+
+__all__ = ["RankPolicy", "RankDecision", "RankScheduler"]
+
+INITIAL = "initial"
+DRIFT = "drift"
+HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class RankPolicy:
+    """How ranks are proposed and when a re-factorization is worth it."""
+
+    energy_threshold: float = 0.9
+    min_rank: int = 1
+    max_ratio: float = 1.0  # cap each rank at this fraction of full rank
+    hysteresis: int = 2  # rank units a layer must drift to trigger
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.energy_threshold <= 1.0:
+            raise LifecycleConfigError("energy_threshold must be in (0, 1]")
+        if self.min_rank < 1:
+            raise LifecycleConfigError("min_rank must be >= 1")
+        if not 0.0 < self.max_ratio <= 1.0:
+            raise LifecycleConfigError("max_ratio must be in (0, 1]")
+        if self.hysteresis < 0:
+            raise LifecycleConfigError("hysteresis must be >= 0")
+
+
+@dataclass(frozen=True)
+class RankDecision:
+    """One scheduler verdict for one snapshot."""
+
+    snapshot_index: int
+    epoch: int
+    phase: str
+    proposed: dict  # path -> rank (the full proposal, eligible layers only)
+    drifted: tuple  # paths outside the hysteresis band vs the current map
+    refactorize: bool
+    reason: str  # initial | drift | hold
+
+    def as_dict(self) -> dict:
+        return {
+            "snapshot_index": self.snapshot_index,
+            "epoch": self.epoch,
+            "phase": self.phase,
+            "proposed": dict(sorted(self.proposed.items())),
+            "drifted": list(self.drifted),
+            "refactorize": self.refactorize,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class RankScheduler:
+    """Tracks the deployed rank map and decides when to re-factorize.
+
+    ``eligible`` is the set of layer paths ``build_hybrid`` would actually
+    factorize under the run's base config (see
+    :func:`repro.core.eligible_paths`) — spectra of kept layers (first
+    conv, last FC, full-rank prefixes) never drive a re-factorization.
+    """
+
+    policy: RankPolicy
+    eligible: tuple
+    current: dict | None = None
+    decisions: list = field(default_factory=list)
+
+    def propose(self, snapshot: SpectrumSnapshot) -> dict:
+        """Per-layer energy ranks for the eligible layers of one snapshot."""
+        ranks = snapshot.energy_ranks(self.policy.energy_threshold)
+        proposal = {}
+        for path in self.eligible:
+            if path not in ranks:
+                continue
+            full = len(snapshot.spectra[path])
+            cap = max(self.policy.min_rank, int(self.policy.max_ratio * full))
+            proposal[path] = int(np.clip(ranks[path], self.policy.min_rank, cap))
+        return proposal
+
+    def decide(self, snapshot: SpectrumSnapshot) -> RankDecision:
+        """Judge one snapshot; adopts the proposal when it triggers."""
+        proposed = self.propose(snapshot)
+        if self.current is None:
+            drifted: tuple = ()
+            refactorize, reason = True, INITIAL
+        else:
+            drifted = tuple(
+                sorted(
+                    p
+                    for p, r in proposed.items()
+                    if abs(r - self.current.get(p, 0)) > self.policy.hysteresis
+                )
+            )
+            refactorize = bool(drifted)
+            reason = DRIFT if refactorize else HOLD
+        if refactorize:
+            self.current = dict(proposed)
+        decision = RankDecision(
+            snapshot_index=snapshot.index,
+            epoch=snapshot.epoch,
+            phase=snapshot.phase,
+            proposed=proposed,
+            drifted=drifted,
+            refactorize=refactorize,
+            reason=reason,
+        )
+        self.decisions.append(decision)
+        if _metrics.COLLECT:
+            _metrics.REGISTRY.gauge("lifecycle.rank_layers").set(len(proposed))
+            if reason == DRIFT:
+                _metrics.REGISTRY.counter("lifecycle.refactorizations").inc()
+        return decision

@@ -106,24 +106,44 @@ def input_spec_for(name: str) -> InputSpec:
     raise ValueError(f"unknown model {name!r}")
 
 
-def hybrid_config_for(name: str, model, rank_ratio: float = 0.25):
-    """The per-model hybrid factorization config (paper Section 3.3)."""
+def hybrid_config_for(
+    name: str,
+    model,
+    rank_ratio: float = 0.25,
+    rank_overrides: dict | None = None,
+):
+    """The per-model hybrid factorization config (paper Section 3.3).
+
+    ``rank_overrides`` (path → exact rank) is merged on top of the model's
+    paper config, so allocator- or lifecycle-chosen per-layer ranks reuse
+    the same skip rules (first conv, last FC, full-rank prefixes) as the
+    global-ratio baseline.
+    """
+    from dataclasses import replace
+
     from .. import models
     from ..core import FactorizationConfig
 
     if name == "vgg19":
-        return models.vgg19_hybrid_config(rank_ratio)
-    if name == "vgg11":
-        return models.vgg11_hybrid_config(rank_ratio)
-    if name == "resnet18":
-        return models.resnet18_hybrid_config(model, rank_ratio)
-    if name in ("resnet50", "wideresnet50"):
-        return models.resnet50_hybrid_config(model, rank_ratio)
-    if name == "lstm":
-        return models.lstm_lm_hybrid_config(rank_ratio)
-    if name == "transformer":
-        return models.transformer_hybrid_config(rank_ratio)
-    return FactorizationConfig(rank_ratio=rank_ratio)
+        config = models.vgg19_hybrid_config(rank_ratio)
+    elif name == "vgg11":
+        config = models.vgg11_hybrid_config(rank_ratio)
+    elif name == "resnet18":
+        config = models.resnet18_hybrid_config(model, rank_ratio)
+    elif name in ("resnet50", "wideresnet50"):
+        config = models.resnet50_hybrid_config(model, rank_ratio)
+    elif name == "lstm":
+        config = models.lstm_lm_hybrid_config(rank_ratio)
+    elif name == "transformer":
+        config = models.transformer_hybrid_config(rank_ratio)
+    else:
+        config = FactorizationConfig(rank_ratio=rank_ratio)
+    if rank_overrides:
+        config = replace(
+            config,
+            rank_overrides={**config.rank_overrides, **rank_overrides},
+        )
+    return config
 
 
 @dataclass
@@ -138,6 +158,9 @@ class ServedModel:
     input_shape: tuple[int, ...]
     factorization: dict | None = None  # params_before/after, compression, ...
     input_spec: InputSpec | None = None
+    # Promotion provenance (checkpoint version, parent run, rank-map
+    # digest, ...) when materialized from a promoted lifecycle artifact.
+    lineage: dict | None = None
 
     def __post_init__(self) -> None:
         if self.input_spec is None:
@@ -158,6 +181,8 @@ class ServedModel:
         }
         if self.factorization:
             out["factorization"] = dict(self.factorization)
+        if self.lineage:
+            out["lineage"] = dict(self.lineage)
         return out
 
 
@@ -187,15 +212,26 @@ class ModelRegistry:
         num_classes: int = 4,
         width: float = 0.25,
         rank_ratio: float = 0.25,
+        rank_overrides: dict | None = None,
         seed: int = 0,
         checkpoint=None,
     ) -> ServedModel:
-        """Build (or fetch) one ready-to-serve model variant."""
+        """Build (or fetch) one ready-to-serve model variant.
+
+        ``rank_overrides`` threads allocator-chosen per-layer ranks into
+        the factorized architecture.  ``checkpoint`` may be any
+        :func:`repro.utils.save_model` / ``save_checkpoint`` file — a
+        *promoted lifecycle artifact* carries its rank map and lineage in
+        the metadata, so the matching per-layer hybrid is rebuilt
+        automatically before the weights load and the lineage is exposed
+        on the served model.
+        """
         if name not in self._builders:
             raise ValueError(f"unknown model {name!r}; registered: {self.names()}")
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
         key = (name, variant, num_classes, width, rank_ratio, seed,
+               tuple(sorted(rank_overrides.items())) if rank_overrides else None,
                str(checkpoint) if checkpoint is not None else None)
         cached = self._cache.get(key)
         if cached is not None:
@@ -205,11 +241,26 @@ class ModelRegistry:
         from ..metrics import measure_macs
         from ..utils import set_seed
 
+        lineage = None
+        if checkpoint is not None:
+            from ..utils import peek_checkpoint
+
+            lineage = peek_checkpoint(checkpoint).get("lifecycle")
+            if lineage and variant == "factorized" and not rank_overrides:
+                # The artifact knows its own architecture: adopt its
+                # per-layer rank map so the state dict matches exactly.
+                rank_overrides = {
+                    path: int(r) for path, r in lineage.get("rank_map", {}).items()
+                }
+
         set_seed(seed)
         model = self._builders[name](num_classes, width)
         factorization = None
         if variant == "factorized":
-            model, report = build_hybrid(model, hybrid_config_for(name, model, rank_ratio))
+            model, report = build_hybrid(
+                model,
+                hybrid_config_for(name, model, rank_ratio, rank_overrides),
+            )
             factorization = {
                 "params_before": report.params_before,
                 "params_after": report.params_after,
@@ -232,6 +283,10 @@ class ModelRegistry:
             input_shape=spec.shape,
             factorization=factorization,
             input_spec=spec,
+            # Expose digests, not the full rank map — /v1/model stays small.
+            lineage={k: v for k, v in lineage.items() if k != "rank_map"}
+            if lineage
+            else None,
         )
         self._cache[key] = served
         if _metrics.COLLECT:

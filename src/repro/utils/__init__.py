@@ -2,7 +2,14 @@
 
 from .seed import set_seed, get_rng, spawn_rng
 from .logging import Logger
-from .serialization import save_checkpoint, load_checkpoint, save_model, load_model
+from .serialization import (
+    save_checkpoint,
+    load_checkpoint,
+    save_model,
+    load_model,
+    peek_checkpoint,
+    amend_checkpoint,
+)
 
 __all__ = [
     "set_seed",
@@ -13,4 +20,6 @@ __all__ = [
     "load_checkpoint",
     "save_model",
     "load_model",
+    "peek_checkpoint",
+    "amend_checkpoint",
 ]

@@ -17,7 +17,14 @@ if TYPE_CHECKING:  # imported lazily to keep repro.utils free of cycles
     from ..nn.module import Module
     from ..optim.optimizer import Optimizer
 
-__all__ = ["save_checkpoint", "load_checkpoint", "save_model", "load_model"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_model",
+    "load_model",
+    "peek_checkpoint",
+    "amend_checkpoint",
+]
 
 _META_KEY = "__meta_json__"
 
@@ -59,6 +66,40 @@ def save_checkpoint(
                     meta.setdefault("opt_scalars", {})[f"{idx}/{key}"] = value
     arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
     np.savez(path, **arrays)
+
+
+def peek_checkpoint(path: str | Path) -> dict:
+    """The metadata dict of a checkpoint without touching any model.
+
+    Lets loaders decide *how* to build the architecture before loading
+    weights — e.g. a promoted lifecycle checkpoint carries its rank map,
+    which must shape the hybrid before ``load_model`` can succeed.
+    Returns ``{}`` for plain :func:`save_model` files.
+    """
+    with np.load(path) as data:
+        if _META_KEY not in data.files:
+            return {}
+        meta = json.loads(bytes(data[_META_KEY]).decode())
+    return meta.get("metadata", {})
+
+
+def amend_checkpoint(src: str | Path, dst: str | Path, **metadata) -> None:
+    """Copy a checkpoint while merging ``metadata`` into its metadata dict.
+
+    Arrays are carried over verbatim — only the embedded JSON changes.
+    Used by the promotion registry to stamp lineage into an existing
+    training artifact without re-serializing the model.
+    """
+    with np.load(src) as data:
+        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+        meta = (
+            json.loads(bytes(data[_META_KEY]).decode())
+            if _META_KEY in data.files
+            else {}
+        )
+    meta.setdefault("metadata", {}).update(metadata)
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(dst, **arrays)
 
 
 def load_checkpoint(

@@ -1,0 +1,120 @@
+"""Property-based tests for the per-layer rank allocators.
+
+The lifecycle scheduler re-chooses ranks online from the same
+``energy_rank`` curves these allocators use, so their contract has to
+hold on arbitrary weights, not just the trained checkpoints the
+benchmarks pin:
+
+* ``budget_rank_allocation`` never spends more than ``max(budget, floor)``
+  where the floor is every layer at ``min_rank``;
+* ``energy_rank_allocation`` is monotone in the energy target — asking to
+  retain more energy can only raise a layer's rank — and respects the
+  ``min_rank`` / ``max_ratio`` clip on every layer;
+* a matrix of exact rank ``k`` (with a threshold below 1) is allocated
+  exactly rank ``k``.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rank_allocation import (
+    budget_rank_allocation,
+    energy_rank_allocation,
+)
+from repro.models import MLP
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+def _mlp(seed: int, dims=(12, 10, 8)) -> MLP:
+    """A small MLP with seeded weights (every Linear is factorizable)."""
+    np.random.seed(seed)
+    return MLP(dims[0], list(dims[1:]), 4)
+
+
+def _lowrank_params(shape, r):
+    m, n = shape
+    return r * (m + n)
+
+
+def _spent(model, ranks):
+    total = 0
+    for path, layer in model.named_modules():
+        if isinstance(layer, Linear) and path in ranks:
+            total += _lowrank_params(layer.weight.data.shape, ranks[path])
+    return total
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), budget=st.integers(0, 2000))
+def test_budget_never_exceeded(seed, budget):
+    model = _mlp(seed)
+    ranks = budget_rank_allocation(model, budget)
+    floor = _spent(model, {p: 1 for p in ranks})
+    assert _spent(model, ranks) <= max(budget, floor)
+    assert all(r >= 1 for r in ranks.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    lo=st.floats(0.05, 0.95),
+    delta=st.floats(0.0, 0.9),
+)
+def test_energy_allocation_monotone_in_threshold(seed, lo, delta):
+    model = _mlp(seed)
+    hi = min(lo + delta, 0.999)
+    at_lo = energy_rank_allocation(model, energy_threshold=lo)
+    at_hi = energy_rank_allocation(model, energy_threshold=hi)
+    assert sorted(at_lo) == sorted(at_hi)
+    for path in at_lo:
+        assert at_lo[path] <= at_hi[path]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    min_rank=st.integers(1, 4),
+    max_ratio=st.floats(0.1, 1.0),
+)
+def test_energy_allocation_respects_clip(seed, min_rank, max_ratio):
+    model = _mlp(seed)
+    ranks = energy_rank_allocation(
+        model, energy_threshold=0.9, min_rank=min_rank, max_ratio=max_ratio
+    )
+    for path, layer in model.named_modules():
+        if not isinstance(layer, Linear) or path not in ranks:
+            continue
+        full = min(layer.weight.data.shape)
+        cap = max(min_rank, int(max_ratio * full))
+        assert min_rank <= ranks[path] <= cap
+
+
+class _OneLinear(Module):
+    def __init__(self, weight: np.ndarray):
+        super().__init__()
+        self.fc = Linear(weight.shape[1], weight.shape[0])
+        self.fc.weight.data = weight.astype(np.float32)
+
+    def forward(self, x):
+        return self.fc(x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    k=st.integers(1, 6),
+    m=st.integers(8, 16),
+    n=st.integers(8, 16),
+)
+def test_exact_rank_k_matrix_allocates_k(seed, k, m, n):
+    """A matrix with exactly k equal singular values needs exactly rank k
+    to retain any sub-unit energy fraction."""
+    rng = np.random.default_rng(seed)
+    k = min(k, m, n)
+    # Orthonormal factors give exactly k unit singular values.
+    u, _ = np.linalg.qr(rng.standard_normal((m, k)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, k)))
+    model = _OneLinear(u @ v.T)
+    ranks = energy_rank_allocation(model, energy_threshold=0.999)
+    assert ranks == {"fc": k}
